@@ -1,0 +1,53 @@
+// Command hpfbench runs the paper-reproduction experiments E1–E12
+// (see DESIGN.md for the per-experiment index) and prints, for each,
+// the measurement table and the pass/fail verdicts of the paper's
+// claims. Usage:
+//
+//	hpfbench            # run all experiments
+//	hpfbench E2 E4      # run selected experiments
+//	hpfbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpfnt/internal/exper"
+)
+
+var list = flag.Bool("list", false, "list experiments without running them")
+
+func main() {
+	flag.Parse()
+	results, err := exper.All()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpfbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *list {
+		for _, r := range results {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	failed := 0
+	for _, r := range results {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Println(r.Render())
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hpfbench: %d experiment(s) had failing checks\n", failed)
+		os.Exit(1)
+	}
+}

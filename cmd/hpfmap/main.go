@@ -1,0 +1,150 @@
+// Command hpfmap parses a directive-language program (the paper's
+// !HPF$ syntax plus a minimal Fortran declaration subset) and reports
+// the resulting data mapping: the alignment forest, per-array
+// distribution inquiry, per-processor element counts, and optionally
+// per-element ownership tables.
+//
+// Usage:
+//
+//	hpfmap -np 16 program.hpf
+//	hpfmap -np 8 -owners A -param N=64 program.hpf
+//	echo 'REAL A(16)' | hpfmap -np 4 -owners A -
+//
+// Flags:
+//
+//	-np N        number of abstract processors (default 16)
+//	-param K=V   define an integer parameter (repeatable, comma list)
+//	-owners A    print the per-element owner table of array A
+//	-vienna      use the Vienna Fortran BLOCK definition
+//	-templates   enable the HPF baseline TEMPLATE directive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpfnt/hpf"
+	"hpfnt/internal/inquiry"
+)
+
+var (
+	np        = flag.Int("np", 16, "number of abstract processors")
+	params    = flag.String("param", "", "comma-separated K=V integer parameters")
+	owners    = flag.String("owners", "", "print the owner table of this array")
+	vienna    = flag.Bool("vienna", false, "use the Vienna Fortran BLOCK definition")
+	templates = flag.Bool("templates", false, "enable the HPF baseline TEMPLATE directive")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hpfmap [flags] program.hpf  (use - for stdin)")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "hpfmap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	prog, err := hpf.NewProgram("main", *np)
+	if err != nil {
+		return err
+	}
+	prog.UseViennaBlock(*vienna)
+	if *templates {
+		prog.EnableTemplates()
+	}
+	if *params != "" {
+		for _, kv := range strings.Split(*params, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -param entry %q", kv)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return fmt.Errorf("bad -param value %q: %w", kv, err)
+			}
+			prog.SetParam(strings.TrimSpace(parts[0]), v)
+		}
+	}
+	if err := prog.Exec(string(src)); err != nil {
+		return err
+	}
+
+	fmt.Println(prog.Unit.Describe())
+	for _, name := range prog.Unit.Names() {
+		a, _ := prog.Unit.Array(name)
+		if !a.Created {
+			continue
+		}
+		m, err := prog.MappingOf(name)
+		if err != nil {
+			fmt.Printf("%s: %v\n", name, err)
+			continue
+		}
+		info := inquiry.Describe(m)
+		fmt.Printf("%-12s %s\n", name, info.Render())
+		counts := map[int]int{}
+		var cerr error
+		m.Domain().ForEach(func(t hpf.Tuple) bool {
+			os, err := m.Owners(t)
+			if err != nil {
+				cerr = err
+				return false
+			}
+			for _, p := range os {
+				counts[p]++
+			}
+			return true
+		})
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("%-12s per-processor elements:", "")
+		for p := 1; p <= *np; p++ {
+			if counts[p] > 0 {
+				fmt.Printf(" %d:%d", p, counts[p])
+			}
+		}
+		fmt.Println()
+	}
+
+	if *owners != "" {
+		name := strings.ToUpper(*owners)
+		m, err := prog.MappingOf(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nowner table of %s over %s:\n", name, m.Domain())
+		var oerr error
+		m.Domain().ForEach(func(t hpf.Tuple) bool {
+			os, err := m.Owners(t)
+			if err != nil {
+				oerr = err
+				return false
+			}
+			fmt.Printf("  %s -> %v\n", t, os)
+			return true
+		})
+		if oerr != nil {
+			return oerr
+		}
+	}
+	return nil
+}

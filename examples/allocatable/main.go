@@ -1,0 +1,70 @@
+// Allocatable arrays (§6): the paper's example program, verbatim —
+// deferred DISTRIBUTE attributes applied at ALLOCATE, an executable
+// REALIGN entering B into the forest with a strided alignment to A,
+// and an executable REDISTRIBUTE of C. The HPF template model cannot
+// express any of this, because templates cannot be ALLOCATABLE
+// (§8.2); the template-free model handles it directly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpfnt/hpf"
+)
+
+func main() {
+	prog, err := hpf.NewProgram("allocatable", 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's "READ 6,M,N" run-time input.
+	prog.SetParam("M", 2)
+	prog.SetParam("N", 4)
+
+	err = prog.Exec(`
+		REAL,ALLOCATABLE(:,:) :: A,B
+		REAL,ALLOCATABLE(:) :: C,D
+		!HPF$ PROCESSORS PR(32)
+		!HPF$ DISTRIBUTE A(CYCLIC,BLOCK)
+		!HPF$ DISTRIBUTE(BLOCK) :: C,D
+		!HPF$ DYNAMIC B,C
+
+		READ 6,M,N
+		ALLOCATE(A(N*M,N*M))
+		ALLOCATE(B(N,N))
+		!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)
+		ALLOCATE(C(10000), D(10000))
+		!HPF$ REDISTRIBUTE C(CYCLIC) TO PR
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(prog.Unit.Describe())
+	for _, name := range []string{"A", "B", "C", "D"} {
+		info, err := prog.Inquire(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3s %s\n", name, info.Render())
+	}
+
+	// B(i,j) is aligned with A(2i, 2j-1): verify collocation.
+	bo, err := prog.Unit.Owners("B", hpf.TupleOf(2, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ao, err := prog.Unit.Owners("A", hpf.TupleOf(4, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nB(2,3) resides on processor %d; its alignment image A(4,5) on %d\n", bo[0], ao[0])
+
+	// DEALLOCATE removes B from the forest.
+	if err := prog.Exec("DEALLOCATE(B)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter DEALLOCATE(B):")
+	fmt.Print(prog.Unit.Describe())
+}

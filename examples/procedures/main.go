@@ -1,0 +1,94 @@
+// Procedure boundaries (§7, §8.1.2): REAL A(1000) distributed
+// CYCLIC(3), and the strided section A(2:996:2) is passed to SUB(X)
+// under each of the paper's dummy distribution modes. Inheritance
+// transfers the section's (not format-expressible) mapping at zero
+// cost, and the inquiry functions — the paper's answer to passing
+// templates across procedure boundaries — describe what arrived.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpfnt/hpf"
+	"hpfnt/internal/inquiry"
+)
+
+func freshProgram() *hpf.Program {
+	prog, err := hpf.NewProgram("main", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = prog.Exec(`
+		PROCESSORS P(8)
+		REAL A(1000)
+		!HPF$ DISTRIBUTE A(CYCLIC(3)) TO P
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prog
+}
+
+func main() {
+	section, err := hpf.Span(2, 996, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arg := hpf.Actual{Name: "A", Section: []hpf.Triplet{section}}
+
+	// Mode 2 (inherit, "DISTRIBUTE X *"): zero movement, inquirable.
+	prog := freshProgram()
+	fr, err := prog.Call("SUB", []hpf.DummySpec{{Name: "X", Mode: hpf.Inherit}}, []hpf.Actual{arg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	xm, err := fr.Callee.MappingOf("X")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inherit:      moved-in =", fr.Bindings[0].RemapIn)
+	fmt.Println("  inquiry:", inquiry.Describe(xm).Render())
+	if err := fr.Return(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  moved-out =", fr.Bindings[0].RemapOut)
+
+	// Mode 1 (explicit, "DISTRIBUTE X (BLOCK)"): remap in, restore out.
+	prog = freshProgram()
+	tg, err := prog.TargetOf("P")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr, err = prog.Call("SUB", []hpf.DummySpec{{
+		Name: "X", Mode: hpf.Explicit, Formats: []hpf.Format{hpf.BLOCK}, Target: tg,
+	}}, []hpf.Actual{arg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fr.Return(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("explicit:     moved-in =", fr.Bindings[0].RemapIn, " moved-out =", fr.Bindings[0].RemapOut)
+
+	// Mode 3 (inherit-matching, "DISTRIBUTE X *(CYCLIC(3))"): the
+	// section's inherited mapping does not match CYCLIC(3) of the
+	// section — the program is not HPF-conforming.
+	prog = freshProgram()
+	tg, _ = prog.TargetOf("P")
+	_, err = prog.Call("SUB", []hpf.DummySpec{{
+		Name: "X", Mode: hpf.InheritMatch, Formats: []hpf.Format{hpf.CYCLICK(3)}, Target: tg,
+	}}, []hpf.Actual{arg})
+	fmt.Println("inherit-match (section): ", err)
+
+	// The same specification matches for the whole array.
+	prog = freshProgram()
+	tg, _ = prog.TargetOf("P")
+	fr, err = prog.Call("SUB", []hpf.DummySpec{{
+		Name: "X", Mode: hpf.InheritMatch, Formats: []hpf.Format{hpf.CYCLICK(3)}, Target: tg,
+	}}, []hpf.Actual{{Name: "A"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inherit-match (whole A): conforming, moved-in =", fr.Bindings[0].RemapIn)
+}

@@ -1,0 +1,379 @@
+// Package hpf is the public API of the template-free HPF
+// distribution-and-alignment model of Chapman, Mehrotra and Zima
+// ("High Performance Fortran Without Templates", PPoPP 1993 / ICASE
+// 93-17). It ties together:
+//
+//   - the mapping model (processor arrangements, distribution formats,
+//     alignment functions, the alignment forest of primary and
+//     secondary arrays),
+//   - a directive-language front end so programs can be written in the
+//     paper's own !HPF$ syntax,
+//   - a simulated distributed-memory machine and an owner-computes
+//     runtime that execute array statements and measure the
+//     communication and load balance each mapping induces.
+//
+// # Quick start
+//
+//	prog, _ := hpf.NewProgram("demo", 16)
+//	_ = prog.Exec(`
+//	    PROCESSORS P(16)
+//	    REAL A(1:256,1:256), B(1:256,1:256)
+//	    !HPF$ DISTRIBUTE (BLOCK,:) :: A, B
+//	`)
+//	a, _ := prog.NewArray("A")
+//	b, _ := prog.NewArray("B")
+//	...
+//
+// See the examples/ directory for complete programs.
+package hpf
+
+import (
+	"fmt"
+
+	"hpfnt/internal/align"
+	"hpfnt/internal/core"
+	"hpfnt/internal/directive"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+	"hpfnt/internal/inquiry"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/proc"
+	"hpfnt/internal/runtime"
+	"hpfnt/internal/template"
+)
+
+// Re-exported model types, so client code needs only this package.
+type (
+	// Domain is an n-dimensional index domain (§2.1).
+	Domain = index.Domain
+	// Triplet is a Fortran 90 subscript triplet L:U:S.
+	Triplet = index.Triplet
+	// Tuple is a single index.
+	Tuple = index.Tuple
+	// Format is a per-dimension distribution format (§4.1).
+	Format = dist.Format
+	// Target is a distribution target: a processor arrangement or a
+	// section of one (§4).
+	Target = proc.Target
+	// Mapping is the element-based view of a data mapping.
+	Mapping = core.ElementMapping
+	// Report carries a simulated machine's counters and derived
+	// metrics.
+	Report = machine.Report
+	// CostModel weights the machine's synthetic time estimate.
+	CostModel = machine.CostModel
+	// AlignSpec is a parsed ALIGN directive.
+	AlignSpec = align.Spec
+	// MappingInfo is an inquiry result (§8.2's inquiry functions).
+	MappingInfo = inquiry.Info
+	// DummyMode selects how a dummy argument's distribution is
+	// specified (§7).
+	DummyMode = core.DummyMode
+	// DummySpec describes one dummy argument.
+	DummySpec = core.DummySpec
+	// Actual designates an actual argument (whole array or section).
+	Actual = core.Actual
+	// Frame is an active procedure call.
+	Frame = core.Frame
+)
+
+// The distribution formats of §4.1.
+var (
+	// BLOCK is the HPF block format: q = ceil(N/NP) per block.
+	BLOCK Format = dist.Block{}
+	// BLOCKVienna is the Vienna Fortran balanced block variant
+	// assumed in the footnote of §8.1.1.
+	BLOCKVienna Format = dist.BlockVienna{}
+	// COLON is the ":" format: the dimension is not distributed.
+	COLON Format = dist.Collapsed{}
+	// CYCLIC is CYCLIC(1).
+	CYCLIC Format = dist.NewCyclic(1)
+)
+
+// CYCLICK returns the block-cyclic format CYCLIC(k).
+func CYCLICK(k int) Format { return dist.NewCyclic(k) }
+
+// GENERALBLOCK returns GENERAL_BLOCK with the given block upper
+// bounds (§4.1.2).
+func GENERALBLOCK(bounds ...int) Format { return dist.GeneralBlock{Bounds: bounds} }
+
+// The §7 dummy argument modes.
+const (
+	Explicit     = core.DummyExplicit
+	Inherit      = core.DummyInherit
+	InheritMatch = core.DummyInheritMatch
+	Implicit     = core.DummyImplicit
+)
+
+// TupleOf builds an index tuple.
+func TupleOf(vals ...int) Tuple { return Tuple(vals) }
+
+// Dim builds the standard (stride-1) triplet lo:hi.
+func Dim(lo, hi int) Triplet { return index.Unit(lo, hi) }
+
+// Span builds the triplet lo:hi:stride.
+func Span(lo, hi, stride int) (Triplet, error) { return index.NewTriplet(lo, hi, stride) }
+
+// Shape builds a standard domain from lo/hi pairs:
+// Shape(0, n, 1, n) is [0:n, 1:n].
+func Shape(bounds ...int) Domain { return index.Standard(bounds...) }
+
+// Program is a complete template-free HPF program: a processor
+// system, a main program unit with its alignment forest, a directive
+// interpreter, and a simulated machine.
+type Program struct {
+	// Unit is the main program unit.
+	Unit *core.Unit
+	// Machine is the simulated distributed-memory machine.
+	Machine *machine.Machine
+	// Interp executes directive-language source against Unit.
+	Interp *directive.Interp
+
+	sys *proc.System
+}
+
+// NewProgram creates a program over np abstract processors with the
+// default cost model.
+func NewProgram(name string, np int) (*Program, error) {
+	return NewProgramCost(name, np, machine.DefaultCost())
+}
+
+// NewProgramCost creates a program with an explicit machine cost
+// model.
+func NewProgramCost(name string, np int, cost machine.CostModel) (*Program, error) {
+	sys, err := proc.NewSystem(np)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(np, cost)
+	if err != nil {
+		return nil, err
+	}
+	unit := core.NewUnit(name, sys)
+	return &Program{
+		Unit:    unit,
+		Machine: m,
+		Interp:  directive.New(unit),
+		sys:     sys,
+	}, nil
+}
+
+// EnableTemplates attaches the HPF baseline template model (package
+// template), enabling TEMPLATE directives for comparison experiments.
+func (p *Program) EnableTemplates() *template.Model {
+	tm := template.NewModel(p.sys)
+	p.Interp.AttachTemplates(tm)
+	return tm
+}
+
+// UseViennaBlock makes BLOCK directives use the Vienna Fortran
+// balanced-block definition (footnote, §8.1.1).
+func (p *Program) UseViennaBlock(on bool) { p.Interp.ViennaBlock = on }
+
+// SetParam supplies an integer parameter / READ input value to the
+// directive interpreter.
+func (p *Program) SetParam(name string, v int) { p.Interp.SetParam(name, v) }
+
+// SetParamArray supplies a named integer array (e.g. a GENERAL_BLOCK
+// bound vector).
+func (p *Program) SetParamArray(name string, vals []int) { p.Interp.SetParamArray(name, vals) }
+
+// Exec runs directive-language source (declarations, directives and
+// executable statements) against the program.
+func (p *Program) Exec(src string) error { return p.Interp.ExecProgram(src) }
+
+// Processors declares a processor array arrangement programmatically.
+func (p *Program) Processors(name string, dom Domain) (Target, error) {
+	a, err := p.sys.DeclareArray(name, dom)
+	if err != nil {
+		return Target{}, err
+	}
+	return proc.Whole(a), nil
+}
+
+// TargetOf returns a whole-arrangement target by name.
+func (p *Program) TargetOf(name string) (Target, error) {
+	a, ok := p.sys.Lookup(name)
+	if !ok {
+		return Target{}, fmt.Errorf("hpf: unknown processor arrangement %s", name)
+	}
+	return proc.Whole(a), nil
+}
+
+// SectionTarget returns a processor-section target, e.g.
+// SectionTarget("Q", Span(1, 8, 2)).
+func (p *Program) SectionTarget(name string, sel ...Triplet) (Target, error) {
+	a, ok := p.sys.Lookup(name)
+	if !ok {
+		return Target{}, fmt.Errorf("hpf: unknown processor arrangement %s", name)
+	}
+	return proc.SectionOf(a, sel...)
+}
+
+// Declare declares a static array programmatically.
+func (p *Program) Declare(name string, dom Domain) error {
+	_, err := p.Unit.DeclareArray(name, dom)
+	return err
+}
+
+// Distribute applies a DISTRIBUTE programmatically.
+func (p *Program) Distribute(name string, formats []Format, target Target) error {
+	return p.Unit.Distribute(name, formats, target)
+}
+
+// Align applies an ALIGN programmatically.
+func (p *Program) Align(spec AlignSpec) error { return p.Unit.Align(spec) }
+
+// MappingOf returns an array's element mapping (through the template
+// model for template-aligned arrays when templates are enabled).
+func (p *Program) MappingOf(name string) (Mapping, error) { return p.Interp.MappingOf(name) }
+
+// Inquire runs the inquiry functions on an array's mapping (§8.2).
+func (p *Program) Inquire(name string) (MappingInfo, error) {
+	m, err := p.MappingOf(name)
+	if err != nil {
+		return MappingInfo{}, err
+	}
+	return inquiry.Describe(m), nil
+}
+
+// NewArray materializes a distributed runtime array for a declared
+// array.
+func (p *Program) NewArray(name string) (*DistArray, error) {
+	m, err := p.MappingOf(name)
+	if err != nil {
+		return nil, err
+	}
+	a, err := runtime.NewArray(name, m)
+	if err != nil {
+		return nil, err
+	}
+	return &DistArray{Array: a, prog: p}, nil
+}
+
+// Call enters a procedure (§7).
+func (p *Program) Call(procName string, dummies []DummySpec, actuals []Actual) (*Frame, error) {
+	return p.Unit.Call(procName, dummies, actuals)
+}
+
+// Stats snapshots the machine counters.
+func (p *Program) Stats() Report { return p.Machine.Stats() }
+
+// ResetStats clears the machine counters.
+func (p *Program) ResetStats() { p.Machine.Reset() }
+
+// DistArray is a distributed runtime array bound to its program.
+type DistArray struct {
+	*runtime.Array
+	prog *Program
+}
+
+// Assign executes lhs(t) = Σ coeff·src(t+shift) over region under the
+// owner-computes rule, charging the program's machine.
+func (a *DistArray) Assign(region Domain, terms ...AssignTerm) error {
+	rts := make([]runtime.Term, len(terms))
+	for i, t := range terms {
+		rts[i] = runtime.Term{Src: t.Src.Array, Shift: t.Shift, Coeff: t.Coeff}
+	}
+	return runtime.ShiftAssign(a.prog.Machine, a.Array, region, rts)
+}
+
+// Remap moves the array to the mapping currently recorded for it in
+// the program (after a REDISTRIBUTE/REALIGN directive), returning the
+// number of elements moved.
+func (a *DistArray) Remap() (int, error) {
+	m, err := a.prog.MappingOf(a.Name)
+	if err != nil {
+		return 0, err
+	}
+	return runtime.Remap(a.prog.Machine, a.Array, m)
+}
+
+// RemapTo moves the array to an explicit mapping.
+func (a *DistArray) RemapTo(m Mapping) (int, error) {
+	return runtime.Remap(a.prog.Machine, a.Array, m)
+}
+
+// Shape returns the array's index domain.
+func (a *DistArray) Shape() Domain { return a.Array.Dom }
+
+// AssignTerm is one right-hand-side reference of Assign.
+type AssignTerm struct {
+	Src   *DistArray
+	Coeff float64
+	Shift []int
+}
+
+// Read builds a term Coeff·Src(t+Shift).
+func Read(src *DistArray, coeff float64, shift ...int) AssignTerm {
+	return AssignTerm{Src: src, Coeff: coeff, Shift: shift}
+}
+
+// ReduceOp selects a reduction operator for DistArray.Reduce.
+type ReduceOp = runtime.ReduceOp
+
+// The reduction operators.
+const (
+	Sum = runtime.ReduceSum
+	Max = runtime.ReduceMax
+	Min = runtime.ReduceMin
+)
+
+// Reduce computes a global reduction of the array, charging the
+// standard tree-combine communication to the program's machine.
+func (a *DistArray) Reduce(op ReduceOp) (float64, error) {
+	return runtime.Reduce(a.prog.Machine, a.Array, op)
+}
+
+// Schedule is a reusable communication schedule for an iterated
+// stencil statement (overlap / ghost-region exchange). Build it once
+// with NewSchedule, then Run it each iteration.
+type Schedule struct {
+	s    *runtime.Schedule
+	prog *Program
+}
+
+// NewSchedule precomputes the communication schedule of
+// lhs(region) = Σ terms. Rebuild after any remapping of the involved
+// arrays.
+func (a *DistArray) NewSchedule(region Domain, terms ...AssignTerm) (*Schedule, error) {
+	rts := make([]runtime.Term, len(terms))
+	for i, t := range terms {
+		rts[i] = runtime.Term{Src: t.Src.Array, Shift: t.Shift, Coeff: t.Coeff}
+	}
+	s, err := runtime.BuildSchedule(a.Array, region, rts)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s, prog: a.prog}, nil
+}
+
+// Run replays the exchange and computes the statement once.
+func (s *Schedule) Run() error { return s.s.Execute(s.prog.Machine) }
+
+// GhostElements reports the per-iteration overlap traffic.
+func (s *Schedule) GhostElements() int { return s.s.GhostElements() }
+
+// INDIRECT returns a user-defined (indirect) distribution format from
+// a 1-based owner vector (one entry per index). It errors on invalid
+// owner entries.
+func INDIRECT(owner []int) (Format, error) { return dist.NewIndirect(owner) }
+
+// MixedTerm is a right-hand-side reference with an arbitrary
+// (possibly rank-changing) index mapping, e.g. the A(i) in
+// E(i,j) = D(i,j) + A(i).
+type MixedTerm struct {
+	Src   *DistArray
+	Coeff float64
+	Map   func(Tuple) Tuple
+}
+
+// AssignMixed executes lhs(t) = Σ coeff·src(map(t)) over region under
+// the owner-computes rule.
+func (a *DistArray) AssignMixed(region Domain, terms []MixedTerm) error {
+	rts := make([]runtime.GeneralTerm, len(terms))
+	for i, t := range terms {
+		rts[i] = runtime.GeneralTerm{Src: t.Src.Array, Coeff: t.Coeff, Map: t.Map}
+	}
+	return runtime.GeneralAssign(a.prog.Machine, a.Array, region, rts)
+}

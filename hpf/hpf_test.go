@@ -1,0 +1,352 @@
+package hpf
+
+import (
+	"strings"
+	"testing"
+)
+
+func newProg(t *testing.T, np int) *Program {
+	t.Helper()
+	p, err := NewProgram("test", np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	prog := newProg(t, 8)
+	prog.SetParam("N", 32)
+	err := prog.Exec(`
+		PROCESSORS P(8)
+		REAL A(1:N,1:N), B(1:N,1:N)
+		!HPF$ DISTRIBUTE (BLOCK,:) TO P :: A, B
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := prog.NewArray("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prog.NewArray("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(func(tu Tuple) float64 { return float64(tu[0]) })
+	interior := Shape(2, 31, 2, 31)
+	err = b.Assign(interior,
+		Read(a, 0.25, -1, 0), Read(a, 0.25, 1, 0),
+		Read(a, 0.25, 0, -1), Read(a, 0.25, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Laplacian of f(i)=i is i again.
+	if got := b.At(TupleOf(10, 10)); got != 10 {
+		t.Fatalf("B(10,10) = %f", got)
+	}
+	r := prog.Stats()
+	if r.RemoteRefs == 0 || r.Messages == 0 {
+		t.Fatalf("expected boundary communication, got %+v", r)
+	}
+}
+
+func TestProgrammaticAPI(t *testing.T) {
+	prog := newProg(t, 4)
+	tg, err := prog.Processors("P", Shape(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Declare("A", Shape(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Distribute("A", []Format{BLOCK}, tg); err != nil {
+		t.Fatal(err)
+	}
+	info, err := prog.Inquire("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Direct || info.NP != 4 {
+		t.Fatalf("info = %+v", info)
+	}
+	tg2, err := prog.TargetOf("P")
+	if err != nil || !tg2.Equal(tg) {
+		t.Fatalf("TargetOf: %v", err)
+	}
+	if _, err := prog.TargetOf("NOPE"); err == nil {
+		t.Fatal("unknown arrangement must fail")
+	}
+}
+
+func TestSectionTargetAPI(t *testing.T) {
+	prog := newProg(t, 8)
+	if _, err := prog.Processors("Q", Shape(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Span(1, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := prog.SectionTarget("Q", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NP() != 4 {
+		t.Fatalf("NP = %d", tg.NP())
+	}
+	if _, err := prog.SectionTarget("NOPE", sp); err == nil {
+		t.Fatal("unknown arrangement must fail")
+	}
+}
+
+func TestRemapAfterRedistribute(t *testing.T) {
+	prog := newProg(t, 4)
+	err := prog.Exec(`
+		PROCESSORS P(4)
+		REAL A(16)
+		!HPF$ DYNAMIC A
+		!HPF$ DISTRIBUTE A(BLOCK) TO P
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := prog.NewArray("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(func(tu Tuple) float64 { return float64(tu[0] * 10) })
+	if err := prog.Exec("!HPF$ REDISTRIBUTE A(CYCLIC) TO P"); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := a.Remap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("remap must move elements")
+	}
+	if a.At(TupleOf(7)) != 70 {
+		t.Fatal("values must survive remap")
+	}
+	r := prog.Stats()
+	if r.ElementsMoved != int64(moved) {
+		t.Fatalf("machine recorded %d, remap reported %d", r.ElementsMoved, moved)
+	}
+	prog.ResetStats()
+	if prog.Stats().ElementsMoved != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestAssignMixed(t *testing.T) {
+	prog := newProg(t, 4)
+	err := prog.Exec(`
+		PROCESSORS P(4)
+		REAL D(8,4), E(8,4), A(8)
+		!HPF$ DISTRIBUTE (BLOCK,:) TO P :: D, E
+		!HPF$ ALIGN A(:) WITH D(:,*)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := prog.NewArray("D")
+	e, _ := prog.NewArray("E")
+	a, err := prog.NewArray("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Fill(func(tu Tuple) float64 { return float64(tu[0] + tu[1]) })
+	a.Fill(func(tu Tuple) float64 { return float64(100 * tu[0]) })
+	err = e.AssignMixed(e.Shape(), []MixedTerm{
+		{Src: d, Coeff: 1, Map: func(tu Tuple) Tuple { return tu }},
+		{Src: a, Coeff: 1, Map: func(tu Tuple) Tuple { return TupleOf(tu[0]) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.At(TupleOf(3, 2)); got != 3+2+300 {
+		t.Fatalf("E(3,2) = %f", got)
+	}
+}
+
+func TestCallThroughFacade(t *testing.T) {
+	prog := newProg(t, 8)
+	err := prog.Exec(`
+		PROCESSORS P(8)
+		REAL A(100)
+		!HPF$ DISTRIBUTE A(CYCLIC) TO P
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := prog.Call("SUB", []DummySpec{{Name: "X", Mode: Inherit}}, []Actual{{Name: "A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Bindings[0].RemapIn != 0 {
+		t.Fatal("inherit must be free")
+	}
+	if err := fr.Return(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableTemplatesAndViennaToggle(t *testing.T) {
+	prog := newProg(t, 4)
+	prog.EnableTemplates()
+	prog.UseViennaBlock(true)
+	err := prog.Exec(`
+		PROCESSORS P(4)
+		REAL A(9)
+		!HPF$ TEMPLATE T(9)
+		!HPF$ ALIGN A(I) WITH T(I)
+		!HPF$ DISTRIBUTE T(BLOCK) TO P
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.MappingOf("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := m.Owners(TupleOf(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os[0] != 4 {
+		t.Fatalf("A(9) on %v", os)
+	}
+	if !strings.Contains(m.Describe(), "template") {
+		t.Fatalf("Describe = %q", m.Describe())
+	}
+}
+
+func TestFormatConstructors(t *testing.T) {
+	if CYCLICK(3).String() != "CYCLIC(3)" {
+		t.Fatal("CYCLICK wrong")
+	}
+	if GENERALBLOCK(4, 8).String() != "GENERAL_BLOCK(/4,8/)" {
+		t.Fatal("GENERALBLOCK wrong")
+	}
+	if BLOCK.String() != "BLOCK" || COLON.String() != ":" || CYCLIC.String() != "CYCLIC" {
+		t.Fatal("format constants wrong")
+	}
+	if BLOCKVienna.Kind().String() != "BLOCK" {
+		t.Fatal("Vienna block kind wrong")
+	}
+}
+
+func TestDimSpanShape(t *testing.T) {
+	d := Dim(2, 6)
+	if d.Count() != 5 {
+		t.Fatalf("Dim count = %d", d.Count())
+	}
+	if _, err := Span(1, 10, 0); err == nil {
+		t.Fatal("zero stride must fail")
+	}
+	sh := Shape(0, 4, 1, 3)
+	if sh.Rank() != 2 || sh.Size() != 15 {
+		t.Fatalf("Shape = %v", sh)
+	}
+}
+
+func TestNewProgramValidation(t *testing.T) {
+	if _, err := NewProgram("x", 0); err == nil {
+		t.Fatal("np=0 must fail")
+	}
+}
+
+func TestReduceThroughFacade(t *testing.T) {
+	prog := newProg(t, 4)
+	err := prog.Exec(`
+		PROCESSORS P(4)
+		REAL A(100)
+		!HPF$ DISTRIBUTE A(BLOCK) TO P
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := prog.NewArray("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(func(tu Tuple) float64 { return float64(tu[0]) })
+	sum, err := a.Reduce(Sum)
+	if err != nil || sum != 5050 {
+		t.Fatalf("sum = %f, %v", sum, err)
+	}
+	max, err := a.Reduce(Max)
+	if err != nil || max != 100 {
+		t.Fatalf("max = %f, %v", max, err)
+	}
+	if prog.Stats().Messages == 0 {
+		t.Fatal("reduction must record combine messages")
+	}
+}
+
+func TestScheduleThroughFacade(t *testing.T) {
+	prog := newProg(t, 4)
+	prog.SetParam("N", 32)
+	err := prog.Exec(`
+		PROCESSORS P(4)
+		REAL A(1:N,1:N), B(1:N,1:N)
+		!HPF$ DISTRIBUTE (BLOCK,:) TO P :: A, B
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := prog.NewArray("A")
+	b, err := prog.NewArray("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(func(tu Tuple) float64 { return float64(tu[0]) })
+	sched, err := b.NewSchedule(Shape(2, 31, 2, 31),
+		Read(a, 0.25, -1, 0), Read(a, 0.25, 1, 0),
+		Read(a, 0.25, 0, -1), Read(a, 0.25, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.GhostElements() == 0 {
+		t.Fatal("expected boundary ghost elements")
+	}
+	for i := 0; i < 3; i++ {
+		if err := sched.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.At(TupleOf(10, 10)); got != 10 {
+		t.Fatalf("B(10,10) = %f", got)
+	}
+	r := prog.Stats()
+	if r.ElementsMoved != int64(3*sched.GhostElements()) {
+		t.Fatalf("moved %d, want 3x%d", r.ElementsMoved, sched.GhostElements())
+	}
+}
+
+func TestIndirectThroughFacade(t *testing.T) {
+	f, err := INDIRECT([]int{1, 2, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := newProg(t, 2)
+	tg, err := prog.Processors("P", Shape(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Declare("A", Shape(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Distribute("A", []Format{f}, tg); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := prog.MappingOf("A")
+	os, err := m.Owners(TupleOf(3))
+	if err != nil || os[0] != 1 {
+		t.Fatalf("A(3) on %v, %v", os, err)
+	}
+	if _, err := INDIRECT([]int{0}); err == nil {
+		t.Fatal("invalid owner vector must fail")
+	}
+}

@@ -1,0 +1,243 @@
+// Package core implements the paper's distribution-and-alignment
+// model without templates: the data space and alignment forest of
+// §2.4 (trees of height at most 1 with primary and secondary arrays),
+// the CONSTRUCT composition of Definition 4, the DISTRIBUTE / ALIGN /
+// REDISTRIBUTE / REALIGN semantics of §4–§5, allocatable array
+// handling per §6, and the procedure-boundary machinery of §7.
+package core
+
+import (
+	"fmt"
+
+	"hpfnt/internal/align"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+)
+
+// ElementMapping is the element-based view of an index mapping
+// (Definition 1, §2.1): a total function from an array's index domain
+// to non-empty sets of abstract processors. Direct distributions,
+// constructed (aligned) distributions, and inherited section mappings
+// all implement it.
+type ElementMapping interface {
+	// Domain is the array's index domain.
+	Domain() index.Domain
+	// Owners returns the non-empty set of abstract processor numbers
+	// owning element i.
+	Owners(i index.Tuple) ([]int, error)
+	// Describe renders a human-readable description of the mapping.
+	Describe() string
+}
+
+// DistMapping adapts a direct distribution to ElementMapping.
+type DistMapping struct {
+	D *dist.Distribution
+}
+
+// Domain returns the distributee's domain.
+func (m DistMapping) Domain() index.Domain { return m.D.Array }
+
+// Owners delegates to the distribution.
+func (m DistMapping) Owners(i index.Tuple) ([]int, error) { return m.D.Owners(i) }
+
+// Describe renders the distribution in directive syntax.
+func (m DistMapping) Describe() string { return m.D.String() }
+
+// Constructed is the distribution of a secondary array, built by
+// Definition 4: δ_A = CONSTRUCT(α, δ_B), i.e.
+// δ_A(i) = ∪_{j ∈ α(i)} δ_B(j). If i is mapped to an index j of B via
+// α, then A(i) and B(j) are guaranteed to reside in the same
+// processor under any distribution of B.
+type Constructed struct {
+	// Alpha is the alignment function from the secondary to its base.
+	Alpha *align.Function
+	// BaseMap is the base's element mapping (always a DistMapping in
+	// a well-formed forest, since bases are primary).
+	BaseMap ElementMapping
+}
+
+// Construct builds δ_A = CONSTRUCT(α, δ_B).
+func Construct(alpha *align.Function, baseMap ElementMapping) *Constructed {
+	return &Constructed{Alpha: alpha, BaseMap: baseMap}
+}
+
+// Domain returns the alignee's domain.
+func (c *Constructed) Domain() index.Domain { return c.Alpha.Alignee }
+
+// Owners computes the union of the base owners over the image α(i).
+func (c *Constructed) Owners(i index.Tuple) ([]int, error) {
+	img, err := c.Alpha.Image(i)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range img {
+		os, err := c.BaseMap.Owners(j)
+		if err != nil {
+			return nil, fmt.Errorf("core: CONSTRUCT: base owners of %s: %w", j, err)
+		}
+		for _, p := range os {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: CONSTRUCT produced empty owner set for %s", i)
+	}
+	return out, nil
+}
+
+// Describe renders the construction.
+func (c *Constructed) Describe() string {
+	return fmt.Sprintf("CONSTRUCT(%s, %s)", c.Alpha.Spec(), c.BaseMap.Describe())
+}
+
+// SectionMapping is the mapping inherited by a dummy argument whose
+// actual argument is an array section (§8.1.2): the dummy's
+// normalized index domain maps through the section's subscript
+// triplets into the actual array's mapping. Such inherited
+// distributions "cannot be explicitly specified" as format lists in
+// general; inquiry functions (package inquiry) interrogate them.
+type SectionMapping struct {
+	// Dummy is the dummy argument's (normalized) index domain.
+	Dummy index.Domain
+	// Section holds the selecting triplets over the actual array.
+	Section index.Domain
+	// Actual is the actual argument's element mapping.
+	Actual ElementMapping
+}
+
+// NewSectionMapping builds the inherited mapping of a section actual.
+func NewSectionMapping(section index.Domain, actual ElementMapping) (*SectionMapping, error) {
+	if section.Rank() != actual.Domain().Rank() {
+		return nil, fmt.Errorf("core: section rank %d does not match array rank %d", section.Rank(), actual.Domain().Rank())
+	}
+	return &SectionMapping{Dummy: section.Normalize(), Section: section, Actual: actual}, nil
+}
+
+// Domain returns the dummy's normalized domain.
+func (s *SectionMapping) Domain() index.Domain { return s.Dummy }
+
+// Owners translates the dummy index through the section triplets and
+// delegates to the actual's mapping.
+func (s *SectionMapping) Owners(i index.Tuple) ([]int, error) {
+	if !s.Dummy.Contains(i) {
+		return nil, fmt.Errorf("core: %s not in dummy domain %s", i, s.Dummy)
+	}
+	at := make(index.Tuple, len(i))
+	for d, v := range i {
+		at[d] = s.Section.Dims[d].At(v - 1)
+	}
+	return s.Actual.Owners(at)
+}
+
+// Describe renders the inherited-section mapping.
+func (s *SectionMapping) Describe() string {
+	return fmt.Sprintf("INHERITED %s OF %s", s.Section, s.Actual.Describe())
+}
+
+// SameOwners reports whether two mappings assign identical owner sets
+// to every element of their (necessarily equal-extent) domains. It is
+// the semantic equality used by the inheritance-matching dummy mode
+// when structural comparison is unavailable.
+func SameOwners(a, b ElementMapping) (bool, error) {
+	da, db := a.Domain(), b.Domain()
+	if !da.Normalize().Equal(db.Normalize()) {
+		return false, nil
+	}
+	same := true
+	var ferr error
+	ka := da.Tuples()
+	kb := db.Tuples()
+	for n := range ka {
+		oa, err := a.Owners(ka[n])
+		if err != nil {
+			ferr = err
+			break
+		}
+		ob, err := b.Owners(kb[n])
+		if err != nil {
+			ferr = err
+			break
+		}
+		if !sameSet(oa, ob) {
+			same = false
+			break
+		}
+	}
+	if ferr != nil {
+		return false, ferr
+	}
+	return same, nil
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]int{}
+	for _, x := range a {
+		m[x]++
+	}
+	for _, y := range b {
+		if m[y] == 0 {
+			return false
+		}
+		m[y]--
+	}
+	return true
+}
+
+// OwnerGrid materializes the single-owner map of a mapping into a
+// dense column-major slice (and reports an error if any element is
+// replicated). The runtime uses it to execute owner-computes loops
+// without re-evaluating α per access.
+func OwnerGrid(m ElementMapping) ([]int32, error) {
+	dom := m.Domain()
+	out := make([]int32, dom.Size())
+	var ferr error
+	k := 0
+	dom.ForEach(func(t index.Tuple) bool {
+		os, err := m.Owners(t)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if len(os) != 1 {
+			ferr = fmt.Errorf("core: element %s has %d owners; OwnerGrid requires single-owner mappings (use ReplicatedGrid)", t, len(os))
+			return false
+		}
+		out[k] = int32(os[0])
+		k++
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return out, nil
+}
+
+// ReplicatedGrid materializes the full owner sets of a mapping.
+func ReplicatedGrid(m ElementMapping) ([][]int, error) {
+	dom := m.Domain()
+	out := make([][]int, dom.Size())
+	var ferr error
+	k := 0
+	dom.ForEach(func(t index.Tuple) bool {
+		os, err := m.Owners(t)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		out[k] = append([]int(nil), os...)
+		k++
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+// Package directive implements a front end for the paper's directive
+// language: a lexer and recursive-descent parser for the !HPF$
+// directives (PROCESSORS, DISTRIBUTE, ALIGN, REDISTRIBUTE, REALIGN,
+// DYNAMIC, and — for the baseline model — TEMPLATE) together with the
+// minimal Fortran-ish statement subset the paper's examples use
+// (REAL/INTEGER declarations with the ALLOCATABLE attribute,
+// PARAMETER, ALLOCATE, DEALLOCATE and READ). Parsed statements are
+// interpreted directly against a core.Unit (and optionally a
+// template.Model for TEMPLATE directives).
+package directive
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokDoubleColon
+	tokStar
+	tokPlus
+	tokMinus
+	tokSlash
+	tokAssign
+	tokSlashParen // "(/" opening an array constructor
+	tokParenSlash // "/)" closing an array constructor
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDoubleColon:
+		return "'::'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokSlash:
+		return "'/'"
+	case tokAssign:
+		return "'='"
+	case tokSlashParen:
+		return "'(/'"
+	case tokParenSlash:
+		return "'/)'"
+	}
+	return "?"
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes one logical line.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lexLine tokenizes a line, which must already be stripped of the
+// !HPF$ prefix and comments.
+func lexLine(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tokEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) && (lx.src[lx.pos] == ' ' || lx.src[lx.pos] == '\t') {
+		lx.pos++
+	}
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '(':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '/' {
+			lx.pos++
+			return token{kind: tokSlashParen, text: "(/", pos: start}, nil
+		}
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		lx.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		lx.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == ':':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == ':' {
+			lx.pos++
+			return token{kind: tokDoubleColon, text: "::", pos: start}, nil
+		}
+		return token{kind: tokColon, text: ":", pos: start}, nil
+	case c == '*':
+		lx.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '+':
+		lx.pos++
+		return token{kind: tokPlus, text: "+", pos: start}, nil
+	case c == '-':
+		lx.pos++
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case c == '/':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == ')' {
+			lx.pos++
+			return token{kind: tokParenSlash, text: "/)", pos: start}, nil
+		}
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case c == '=':
+		lx.pos++
+		return token{kind: tokAssign, text: "=", pos: start}, nil
+	case c >= '0' && c <= '9':
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start}, nil
+	case isIdentStart(rune(c)):
+		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		return token{kind: tokIdent, text: strings.ToUpper(lx.src[start:lx.pos]), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("directive: unexpected character %q at column %d", string(c), start+1)
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' || r == '%' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// stripLine normalizes one source line: it removes trailing comments
+// ("!" that does not begin an !HPF$ prefix), strips the !HPF$ prefix,
+// and reports whether anything remains. Lines that are entirely
+// comments yield ok == false.
+func stripLine(line string) (string, bool) {
+	s := strings.TrimSpace(line)
+	if s == "" {
+		return "", false
+	}
+	upper := strings.ToUpper(s)
+	if strings.HasPrefix(upper, "!HPF$") {
+		s = strings.TrimSpace(s[5:])
+		upper = strings.ToUpper(s)
+	} else if strings.HasPrefix(s, "!") {
+		return "", false
+	}
+	// Trailing comment.
+	if i := strings.IndexByte(s, '!'); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	if s == "" {
+		return "", false
+	}
+	return s, true
+}

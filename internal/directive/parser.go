@@ -1,0 +1,1135 @@
+package directive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hpfnt/internal/align"
+	"hpfnt/internal/core"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/expr"
+	"hpfnt/internal/index"
+	"hpfnt/internal/proc"
+	"hpfnt/internal/template"
+)
+
+// Interp parses and executes directive-language programs against a
+// core.Unit (the paper's model) and, when attached, a template.Model
+// (the HPF baseline) for TEMPLATE directives and alignments whose
+// base is a template.
+type Interp struct {
+	// Unit receives declarations and mapping directives.
+	Unit *core.Unit
+	// Templates, when non-nil, enables the TEMPLATE directive and
+	// template-based alignment of the baseline model.
+	Templates *template.Model
+	// Params supplies the values of named integer parameters and of
+	// the variables named in READ statements.
+	Params map[string]int
+	// ParamArrays supplies named integer arrays, usable as
+	// GENERAL_BLOCK arguments.
+	ParamArrays map[string][]int
+	// ViennaBlock selects the Vienna Fortran BLOCK definition instead
+	// of the HPF one (the footnote of §8.1.1).
+	ViennaBlock bool
+
+	available       map[string]bool // parameters made available (PARAMETER or READ)
+	templateAligned map[string]bool // arrays aligned to a template (baseline model)
+}
+
+// New creates an interpreter over a unit.
+func New(unit *core.Unit) *Interp {
+	return &Interp{
+		Unit:            unit,
+		Params:          map[string]int{},
+		ParamArrays:     map[string][]int{},
+		available:       map[string]bool{},
+		templateAligned: map[string]bool{},
+	}
+}
+
+// SetParam defines an integer parameter usable in expressions.
+func (ip *Interp) SetParam(name string, v int) {
+	name = strings.ToUpper(name)
+	ip.Params[name] = v
+	ip.available[name] = true
+}
+
+// SetParamArray defines a named integer array.
+func (ip *Interp) SetParamArray(name string, vals []int) {
+	name = strings.ToUpper(name)
+	ip.ParamArrays[name] = append([]int(nil), vals...)
+	ip.available[name] = true
+}
+
+// AttachTemplates enables the baseline template model.
+func (ip *Interp) AttachTemplates(m *template.Model) { ip.Templates = m }
+
+// MappingOf resolves the element mapping of an array, routing through
+// the template model when the array is template-aligned.
+func (ip *Interp) MappingOf(name string) (core.ElementMapping, error) {
+	name = strings.ToUpper(name)
+	if ip.templateAligned[name] {
+		return template.Mapping{M: ip.Templates, Name: name}, nil
+	}
+	return ip.Unit.MappingOf(name)
+}
+
+// ExecProgram executes a multi-line program, reporting errors with
+// 1-based line numbers.
+func (ip *Interp) ExecProgram(src string) error {
+	for ln, line := range strings.Split(src, "\n") {
+		if err := ip.ExecLine(line); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return nil
+}
+
+// ExecLine executes one line (statement or directive); comment and
+// blank lines are ignored.
+func (ip *Interp) ExecLine(line string) error {
+	body, ok := stripLine(line)
+	if !ok {
+		return nil
+	}
+	toks, err := lexLine(body)
+	if err != nil {
+		return err
+	}
+	p := &parser{toks: toks, ip: ip}
+	return p.statement()
+}
+
+// parser consumes one statement's tokens.
+type parser struct {
+	toks []token
+	i    int
+	ip   *Interp
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool {
+	return p.toks[p.i].kind == k
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.at(k) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if !p.at(k) {
+		return token{}, fmt.Errorf("directive: expected %s, found %s %q", k, p.peek().kind, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if t.text != word {
+		return fmt.Errorf("directive: expected %s, found %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *parser) atEnd() bool { return p.at(tokEOF) }
+
+func (p *parser) requireEnd() error {
+	if !p.atEnd() {
+		return fmt.Errorf("directive: unexpected trailing %s %q", p.peek().kind, p.peek().text)
+	}
+	return nil
+}
+
+// statement dispatches on the leading keyword.
+func (p *parser) statement() error {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	switch t.text {
+	case "PARAMETER":
+		return p.parameterStmt()
+	case "PROCESSORS":
+		return p.processorsStmt()
+	case "REAL", "INTEGER", "LOGICAL", "DOUBLE":
+		return p.declStmt()
+	case "DYNAMIC":
+		return p.dynamicStmt()
+	case "DISTRIBUTE":
+		return p.distributeStmt(false)
+	case "REDISTRIBUTE":
+		return p.distributeStmt(true)
+	case "ALIGN":
+		return p.alignStmt(false)
+	case "REALIGN":
+		return p.alignStmt(true)
+	case "TEMPLATE":
+		return p.templateStmt()
+	case "ALLOCATE":
+		return p.allocateStmt()
+	case "DEALLOCATE":
+		return p.deallocateStmt()
+	case "READ":
+		return p.readStmt()
+	default:
+		return fmt.Errorf("directive: unknown statement %q", t.text)
+	}
+}
+
+// parameterStmt handles "PARAMETER N = 64", "PARAMETER(N=64)" and
+// array forms "PARAMETER S = (/4,10,16/)".
+func (p *parser) parameterStmt() error {
+	paren := p.accept(tokLParen)
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return err
+		}
+		if p.at(tokSlashParen) {
+			vals, err := p.arrayConstructor()
+			if err != nil {
+				return err
+			}
+			p.ip.SetParamArray(nameTok.text, vals)
+		} else {
+			v, err := p.constExpr()
+			if err != nil {
+				return err
+			}
+			p.ip.SetParam(nameTok.text, v)
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if paren {
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+	}
+	return p.requireEnd()
+}
+
+func (p *parser) arrayConstructor() ([]int, error) {
+	if _, err := p.expect(tokSlashParen); err != nil {
+		return nil, err
+	}
+	var vals []int
+	for {
+		v, err := p.constExpr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokParenSlash); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// processorsStmt handles "PROCESSORS PR(32), Q(1:8,1:4), SCAL".
+func (p *parser) processorsStmt() error {
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if p.at(tokLParen) {
+			dom, err := p.boundsList()
+			if err != nil {
+				return err
+			}
+			if _, err := p.ip.Unit.Sys.DeclareArray(nameTok.text, dom); err != nil {
+				return err
+			}
+		} else {
+			if _, err := p.ip.Unit.Sys.DeclareScalar(nameTok.text, proc.ScalarControl); err != nil {
+				return err
+			}
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	return p.requireEnd()
+}
+
+// boundsList parses "(b1, b2, ...)" where each bound is "u" (meaning
+// 1:u) or "l:u".
+func (p *parser) boundsList() (index.Domain, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return index.Domain{}, err
+	}
+	var dims []index.Triplet
+	for {
+		lo, err := p.constExpr()
+		if err != nil {
+			return index.Domain{}, err
+		}
+		if p.accept(tokColon) {
+			hi, err := p.constExpr()
+			if err != nil {
+				return index.Domain{}, err
+			}
+			dims = append(dims, index.Unit(lo, hi))
+		} else {
+			dims = append(dims, index.Unit(1, lo))
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return index.Domain{}, err
+	}
+	return index.New(dims...), nil
+}
+
+// declStmt handles "REAL A(0:N,1:N), B(5)" and
+// "REAL, ALLOCATABLE(:,:) :: A, B".
+func (p *parser) declStmt() error {
+	allocRank := 0
+	allocatable := false
+	if p.accept(tokComma) {
+		if err := p.expectIdent("ALLOCATABLE"); err != nil {
+			return err
+		}
+		allocatable = true
+		if _, err := p.expect(tokLParen); err != nil {
+			return err
+		}
+		for {
+			if _, err := p.expect(tokColon); err != nil {
+				return err
+			}
+			allocRank++
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+	}
+	p.accept(tokDoubleColon)
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if allocatable {
+			if _, err := p.ip.Unit.DeclareAllocatable(nameTok.text, allocRank); err != nil {
+				return err
+			}
+			if p.ip.Templates != nil {
+				// The baseline model has no allocatable support; the
+				// array is registered there only if later created.
+				_ = nameTok
+			}
+		} else {
+			if !p.at(tokLParen) {
+				return fmt.Errorf("directive: array %s requires bounds (scalars are not declared)", nameTok.text)
+			}
+			dom, err := p.boundsList()
+			if err != nil {
+				return err
+			}
+			if _, err := p.ip.Unit.DeclareArray(nameTok.text, dom); err != nil {
+				return err
+			}
+			if p.ip.Templates != nil {
+				if err := p.ip.Templates.DeclareArray(nameTok.text, dom); err != nil {
+					return err
+				}
+			}
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	return p.requireEnd()
+}
+
+func (p *parser) dynamicStmt() error {
+	p.accept(tokDoubleColon)
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if err := p.ip.Unit.SetDynamic(nameTok.text); err != nil {
+			return err
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	return p.requireEnd()
+}
+
+// distributeStmt handles both directive forms:
+//
+//	DISTRIBUTE A(BLOCK,:) TO P
+//	DISTRIBUTE (BLOCK,:) TO P :: A, B
+//
+// and their REDISTRIBUTE counterparts.
+func (p *parser) distributeStmt(redistribute bool) error {
+	if p.at(tokLParen) {
+		// Attributed form: formats first, distributees after "::".
+		formats, err := p.formatList()
+		if err != nil {
+			return err
+		}
+		target, err := p.optionalTarget()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDoubleColon); err != nil {
+			return err
+		}
+		for {
+			nameTok, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			if err := p.applyDistribute(nameTok.text, formats, target, redistribute); err != nil {
+				return err
+			}
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		return p.requireEnd()
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	formats, err := p.formatList()
+	if err != nil {
+		return err
+	}
+	target, err := p.optionalTarget()
+	if err != nil {
+		return err
+	}
+	if err := p.applyDistribute(nameTok.text, formats, target, redistribute); err != nil {
+		return err
+	}
+	return p.requireEnd()
+}
+
+func (p *parser) applyDistribute(name string, formats []dist.Format, target proc.Target, redistribute bool) error {
+	if p.ip.Templates != nil && p.ip.Templates.HasTemplate(name) {
+		if redistribute {
+			return fmt.Errorf("directive: templates cannot be redistributed in this front end")
+		}
+		return p.ip.Templates.DistributeTemplate(name, formats, target)
+	}
+	if redistribute {
+		return p.ip.Unit.Redistribute(name, formats, target)
+	}
+	return p.ip.Unit.Distribute(name, formats, target)
+}
+
+// formatList parses "(fmt, fmt, ...)".
+func (p *parser) formatList() ([]dist.Format, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var formats []dist.Format
+	for {
+		f, err := p.format()
+		if err != nil {
+			return nil, err
+		}
+		formats = append(formats, f)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return formats, nil
+}
+
+func (p *parser) format() (dist.Format, error) {
+	if p.accept(tokColon) {
+		return dist.Collapsed{}, nil
+	}
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch t.text {
+	case "BLOCK":
+		if p.ip.ViennaBlock {
+			return dist.BlockVienna{}, nil
+		}
+		return dist.Block{}, nil
+	case "CYCLIC":
+		if p.accept(tokLParen) {
+			k, err := p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return dist.NewCyclic(k), nil
+		}
+		return dist.NewCyclic(1), nil
+	case "GENERAL_BLOCK":
+		bounds, err := p.intVectorArg("GENERAL_BLOCK")
+		if err != nil {
+			return nil, err
+		}
+		return dist.GeneralBlock{Bounds: bounds}, nil
+	case "INDIRECT":
+		// Extension: user-defined (indirect) distributions, the
+		// generality the paper's introduction (point 3) provides for.
+		owner, err := p.intVectorArg("INDIRECT")
+		if err != nil {
+			return nil, err
+		}
+		return dist.NewIndirect(owner)
+	default:
+		return nil, fmt.Errorf("directive: unknown distribution format %q", t.text)
+	}
+}
+
+// intVectorArg parses "(name)" or "((/v1,v2,.../))" as an integer
+// vector argument of a distribution format.
+func (p *parser) intVectorArg(what string) ([]int, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var vals []int
+	if p.at(tokSlashParen) {
+		var err error
+		vals, err = p.arrayConstructor()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := p.ip.ParamArrays[nameTok.text]
+		if !ok {
+			return nil, fmt.Errorf("directive: %s argument %s is not a known integer array", what, nameTok.text)
+		}
+		vals = arr
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// optionalTarget parses "[TO name[(sections)]]".
+func (p *parser) optionalTarget() (proc.Target, error) {
+	if !p.at(tokIdent) || p.peek().text != "TO" {
+		return proc.Target{}, nil
+	}
+	p.next()
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return proc.Target{}, err
+	}
+	arr, ok := p.ip.Unit.Sys.Lookup(nameTok.text)
+	if !ok {
+		return proc.Target{}, fmt.Errorf("directive: unknown processor arrangement %s", nameTok.text)
+	}
+	if !p.at(tokLParen) {
+		return proc.Whole(arr), nil
+	}
+	p.next()
+	var sel []index.Triplet
+	var drop []bool
+	dim := 0
+	for {
+		tr, scalar, err := p.sectionTriplet(arr.Dom, dim)
+		if err != nil {
+			return proc.Target{}, err
+		}
+		sel = append(sel, tr)
+		drop = append(drop, scalar)
+		dim++
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return proc.Target{}, err
+	}
+	anyDrop := false
+	for _, d := range drop {
+		anyDrop = anyDrop || d
+	}
+	if !anyDrop {
+		drop = nil
+	}
+	return proc.SectionDropping(arr, sel, drop)
+}
+
+// sectionTriplet parses one section subscript: ":", "l:u[:s]" with
+// optional parts defaulting to the dimension's bounds (including the
+// "l::s" and "::s" forms, where "::" lexes as one token), or a scalar
+// subscript "v". The second result reports the scalar case, which
+// reduces the target's rank.
+func (p *parser) sectionTriplet(dom index.Domain, dim int) (index.Triplet, bool, error) {
+	if dim >= dom.Rank() {
+		return index.Triplet{}, false, fmt.Errorf("directive: too many section subscripts (rank %d)", dom.Rank())
+	}
+	def := dom.Dims[dim]
+	lo, hi, st := def.Low, def.Last(), 1
+	hasLo := false
+	if !p.at(tokColon) && !p.at(tokDoubleColon) {
+		v, err := p.constExpr()
+		if err != nil {
+			return index.Triplet{}, false, err
+		}
+		lo = v
+		hasLo = true
+	}
+	if p.accept(tokDoubleColon) {
+		// "l::s" / "::s": upper bound defaults, stride explicit.
+		v, err := p.constExpr()
+		if err != nil {
+			return index.Triplet{}, false, err
+		}
+		tr, err := index.NewTriplet(lo, hi, v)
+		return tr, false, err
+	}
+	if !p.accept(tokColon) {
+		if !hasLo {
+			return index.Triplet{}, false, fmt.Errorf("directive: empty section subscript")
+		}
+		return index.Unit(lo, lo), true, nil // scalar subscript
+	}
+	if !p.at(tokColon) && !p.at(tokComma) && !p.at(tokRParen) && !p.at(tokEOF) {
+		v, err := p.constExpr()
+		if err != nil {
+			return index.Triplet{}, false, err
+		}
+		hi = v
+	}
+	if p.accept(tokColon) {
+		v, err := p.constExpr()
+		if err != nil {
+			return index.Triplet{}, false, err
+		}
+		st = v
+	}
+	tr, err := index.NewTriplet(lo, hi, st)
+	return tr, false, err
+}
+
+// alignStmt handles "ALIGN A(axes) WITH B(subs)" and REALIGN.
+func (p *parser) alignStmt(realign bool) error {
+	aligneeTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var axes []align.Axis
+	dummies := map[string]bool{}
+	for {
+		switch {
+		case p.accept(tokColon):
+			axes = append(axes, align.Colon())
+		case p.accept(tokStar):
+			axes = append(axes, align.Star())
+		default:
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return fmt.Errorf("directive: alignee axis must be ':', '*' or an align-dummy: %w", err)
+			}
+			axes = append(axes, align.DummyAxis(t.text))
+			dummies[t.text] = true
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if err := p.expectIdent("WITH"); err != nil {
+		return err
+	}
+	baseTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	baseDom, isTemplate, err := p.baseDomain(baseTok.text)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var subs []align.Subscript
+	dim := 0
+	for {
+		s, err := p.alignSubscript(dummies, baseDom, dim)
+		if err != nil {
+			return err
+		}
+		subs = append(subs, s)
+		dim++
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if err := p.requireEnd(); err != nil {
+		return err
+	}
+	spec := align.Spec{Alignee: aligneeTok.text, Axes: axes, Base: baseTok.text, Subs: subs}
+	if isTemplate {
+		if realign {
+			return fmt.Errorf("directive: REALIGN with a template base is not supported by the baseline front end")
+		}
+		if err := p.ip.Templates.AlignWithTemplate(spec); err != nil {
+			return err
+		}
+		p.ip.templateAligned[aligneeTok.text] = true
+		return nil
+	}
+	if realign {
+		return p.ip.Unit.Realign(spec)
+	}
+	return p.ip.Unit.Align(spec)
+}
+
+// baseDomain resolves the index domain of an alignment base, which
+// may be an array or (baseline model only) a template.
+func (p *parser) baseDomain(name string) (index.Domain, bool, error) {
+	if a, ok := p.ip.Unit.Array(name); ok {
+		if !a.Created {
+			// Deferred alignment to an allocatable: unknown extents;
+			// triplet defaults are unavailable, but plain expressions
+			// still parse. Use a placeholder domain of the right
+			// rank.
+			dims := make([]index.Triplet, a.Rank)
+			for i := range dims {
+				dims[i] = index.Unit(1, 1)
+			}
+			return index.New(dims...), false, nil
+		}
+		return a.Dom, false, nil
+	}
+	if p.ip.Templates != nil && p.ip.Templates.HasTemplate(name) {
+		dom, err := p.ip.Templates.TemplateDomain(name)
+		if err != nil {
+			return index.Domain{}, false, err
+		}
+		return dom, true, nil
+	}
+	return index.Domain{}, false, fmt.Errorf("directive: unknown alignment base %s", name)
+}
+
+// alignSubscript parses one base subscript: "*", a triplet (detected
+// by a top-level ":"), or an expression possibly containing one
+// align-dummy.
+func (p *parser) alignSubscript(dummies map[string]bool, baseDom index.Domain, dim int) (align.Subscript, error) {
+	if p.accept(tokStar) {
+		return align.StarSub(), nil
+	}
+	if p.tripletAhead() {
+		if dim >= baseDom.Rank() {
+			return align.Subscript{}, fmt.Errorf("directive: too many base subscripts (rank %d)", baseDom.Rank())
+		}
+		tr, _, err := p.sectionTriplet(baseDom, dim)
+		if err != nil {
+			return align.Subscript{}, err
+		}
+		return align.TripletSub(tr), nil
+	}
+	e, err := p.alignExpr(dummies)
+	if err != nil {
+		return align.Subscript{}, err
+	}
+	return align.ExprSub(e), nil
+}
+
+// tripletAhead reports whether a top-level ":" occurs before the next
+// top-level "," or ")" — distinguishing triplets from expressions.
+func (p *parser) tripletAhead() bool {
+	depth := 0
+	for k := p.i; k < len(p.toks); k++ {
+		switch p.toks[k].kind {
+		case tokLParen, tokSlashParen:
+			depth++
+		case tokRParen, tokParenSlash:
+			if depth == 0 {
+				return false
+			}
+			depth--
+		case tokComma:
+			if depth == 0 {
+				return false
+			}
+		case tokColon, tokDoubleColon:
+			if depth == 0 {
+				return true
+			}
+		case tokEOF:
+			return false
+		}
+	}
+	return false
+}
+
+// constExpr parses and evaluates a constant integer expression using
+// the interpreter's parameters.
+func (p *parser) constExpr() (int, error) {
+	e, err := p.alignExpr(nil)
+	if err != nil {
+		return 0, err
+	}
+	v, err := e.Eval(expr.Env{})
+	if err != nil {
+		return 0, fmt.Errorf("directive: expression is not constant: %w", err)
+	}
+	return v, nil
+}
+
+// alignExpr parses an expression; identifiers in dummies become
+// align-dummies, parameters fold to constants, and the MAX/MIN/
+// LBOUND/UBOUND/SIZE intrinsics are recognized. With dummies == nil,
+// only constant expressions are accepted.
+func (p *parser) alignExpr(dummies map[string]bool) (expr.Expr, error) {
+	return p.addExpr(dummies)
+}
+
+func (p *parser) addExpr(dummies map[string]bool) (expr.Expr, error) {
+	l, err := p.mulExpr(dummies)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPlus):
+			r, err := p.mulExpr(dummies)
+			if err != nil {
+				return nil, err
+			}
+			l = fold(expr.Add(l, r))
+		case p.accept(tokMinus):
+			r, err := p.mulExpr(dummies)
+			if err != nil {
+				return nil, err
+			}
+			l = fold(expr.Sub(l, r))
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr(dummies map[string]bool) (expr.Expr, error) {
+	l, err := p.unaryExpr(dummies)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokStar):
+			r, err := p.unaryExpr(dummies)
+			if err != nil {
+				return nil, err
+			}
+			l = fold(expr.Mul(l, r))
+		case p.accept(tokSlash):
+			r, err := p.unaryExpr(dummies)
+			if err != nil {
+				return nil, err
+			}
+			lc, lok := constOf(l)
+			rc, rok := constOf(r)
+			if !lok || !rok {
+				return nil, fmt.Errorf("directive: division is only permitted in constant expressions (alignment functions use +, -, *)")
+			}
+			if rc == 0 {
+				return nil, fmt.Errorf("directive: division by zero")
+			}
+			l = expr.Const(lc / rc)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr(dummies map[string]bool) (expr.Expr, error) {
+	if p.accept(tokMinus) {
+		e, err := p.unaryExpr(dummies)
+		if err != nil {
+			return nil, err
+		}
+		return fold(expr.Sub(expr.Const(0), e)), nil
+	}
+	if p.accept(tokPlus) {
+		return p.unaryExpr(dummies)
+	}
+	return p.primaryExpr(dummies)
+}
+
+func (p *parser) primaryExpr(dummies map[string]bool) (expr.Expr, error) {
+	switch {
+	case p.at(tokNumber):
+		t := p.next()
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("directive: bad number %q: %w", t.text, err)
+		}
+		return expr.Const(v), nil
+	case p.accept(tokLParen):
+		e, err := p.addExpr(dummies)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at(tokIdent):
+		t := p.next()
+		switch t.text {
+		case "MAX", "MIN":
+			args, err := p.callArgs(dummies)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) < 2 {
+				return nil, fmt.Errorf("directive: %s requires at least two arguments", t.text)
+			}
+			if t.text == "MAX" {
+				return expr.Max(args...), nil
+			}
+			return expr.Min(args...), nil
+		case "LBOUND", "UBOUND", "SIZE":
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			arrTok, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			dim := 1
+			if p.accept(tokComma) {
+				dim, err = p.constExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "LBOUND":
+				return expr.LBound(arrTok.text, dim), nil
+			case "UBOUND":
+				return expr.UBound(arrTok.text, dim), nil
+			default:
+				return expr.Size(arrTok.text, dim), nil
+			}
+		}
+		if dummies != nil && dummies[t.text] {
+			return expr.Dummy(t.text), nil
+		}
+		if v, ok := p.ip.Params[t.text]; ok && p.ip.available[t.text] {
+			return expr.Const(v), nil
+		}
+		return nil, fmt.Errorf("directive: unknown identifier %q in expression (not a parameter%s)", t.text, dummyHint(dummies))
+	default:
+		return nil, fmt.Errorf("directive: expected expression, found %s %q", p.peek().kind, p.peek().text)
+	}
+}
+
+func dummyHint(dummies map[string]bool) string {
+	if dummies == nil {
+		return ""
+	}
+	return " or align-dummy"
+}
+
+func (p *parser) callArgs(dummies map[string]bool) ([]expr.Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []expr.Expr
+	for {
+		e, err := p.addExpr(dummies)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// fold collapses constant subexpressions.
+func fold(e expr.Expr) expr.Expr {
+	if len(expr.Dummies(e)) > 0 {
+		return e
+	}
+	if _, usesBounds := boundsFree(e); !usesBounds {
+		if v, err := e.Eval(expr.Env{}); err == nil {
+			return expr.Const(v)
+		}
+	}
+	return e
+}
+
+// boundsFree reports whether e references LBOUND/UBOUND/SIZE.
+func boundsFree(e expr.Expr) (expr.Expr, bool) {
+	switch n := e.(type) {
+	case expr.Bound:
+		return e, true
+	case expr.Bin:
+		if _, b := boundsFree(n.L); b {
+			return e, true
+		}
+		if _, b := boundsFree(n.R); b {
+			return e, true
+		}
+	case expr.MinMax:
+		for _, a := range n.Args {
+			if _, b := boundsFree(a); b {
+				return e, true
+			}
+		}
+	}
+	return e, false
+}
+
+func constOf(e expr.Expr) (int, bool) {
+	c, ok := e.(expr.Const)
+	return int(c), ok
+}
+
+// templateStmt handles "TEMPLATE T(bounds)" (baseline model only).
+func (p *parser) templateStmt() error {
+	if p.ip.Templates == nil {
+		return fmt.Errorf("directive: TEMPLATE is not part of this model (the paper's proposal removes template directives); attach a template.Model to parse HPF baseline programs")
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	dom, err := p.boundsList()
+	if err != nil {
+		return err
+	}
+	if _, err := p.ip.Templates.DeclareTemplate(nameTok.text, dom); err != nil {
+		return err
+	}
+	return p.requireEnd()
+}
+
+// allocateStmt handles "ALLOCATE(A(n,m), B(n))".
+func (p *parser) allocateStmt() error {
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		dom, err := p.boundsList()
+		if err != nil {
+			return err
+		}
+		if err := p.ip.Unit.Allocate(nameTok.text, dom); err != nil {
+			return err
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	return p.requireEnd()
+}
+
+func (p *parser) deallocateStmt() error {
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if err := p.ip.Unit.Deallocate(nameTok.text); err != nil {
+			return err
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	return p.requireEnd()
+}
+
+// readStmt handles "READ M,N" and "READ 6,M,N" (the unit number is
+// ignored); the named variables must have values supplied via
+// SetParam, modeling run-time input (§6's example reads M and N).
+func (p *parser) readStmt() error {
+	if p.at(tokNumber) {
+		p.next()
+		if !p.accept(tokComma) {
+			return fmt.Errorf("directive: READ unit number must be followed by ','")
+		}
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, ok := p.ip.Params[nameTok.text]; !ok {
+			return fmt.Errorf("directive: READ %s: no input value supplied (use SetParam)", nameTok.text)
+		}
+		p.ip.available[nameTok.text] = true
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	return p.requireEnd()
+}

@@ -1,0 +1,80 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfnt/internal/dist"
+)
+
+// E1DistributionFormats reproduces the §4.1 distribution function
+// definitions as ownership and local-index tables over n indices and
+// np processors, checking the paper's closed forms: BLOCK's
+// δ(i) = ⌈i/q⌉ with q = ⌈N/NP⌉ and local index i-(j-1)q;
+// GENERAL_BLOCK's block bounds; CYCLIC(k)'s cyclic segment mapping.
+func E1DistributionFormats(n, np int) (Result, error) {
+	gb := dist.GeneralBlock{Bounds: []int{n / 4, n/4 + 2, n/4 + 2 + n/2}}
+	formats := []dist.Format{
+		dist.Block{},
+		dist.BlockVienna{},
+		gb,
+		dist.Cyclic{K: 1},
+		dist.Cyclic{K: 3},
+	}
+	labels := []string{"BLOCK (HPF)", "BLOCK (Vienna)", gb.String(), "CYCLIC", "CYCLIC(3)"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "N=%d NP=%d; owner(local) per index\n", n, np)
+	fmt.Fprintf(&b, "%-24s", "format")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, " %5d", i)
+	}
+	b.WriteString("\n")
+	for k, f := range formats {
+		if err := f.Validate(n, np); err != nil {
+			return Result{}, err
+		}
+		fmt.Fprintf(&b, "%-24s", labels[k])
+		for i := 1; i <= n; i++ {
+			fmt.Fprintf(&b, " %2d(%d)", f.Map(i, n, np), f.Local(i, n, np))
+		}
+		b.WriteString("\n")
+	}
+
+	var checks []Check
+	// BLOCK formula spot checks: q = ceil(16/4) = 4.
+	q := (n + np - 1) / np
+	blockOK := true
+	for i := 1; i <= n; i++ {
+		j := (i + q - 1) / q
+		if (dist.Block{}).Map(i, n, np) != j || (dist.Block{}).Local(i, n, np) != i-(j-1)*q {
+			blockOK = false
+		}
+	}
+	checks = append(checks, Check{
+		Name:   "§4.1.1 BLOCK: δ(i)=⌈i/q⌉, local=i-(j-1)q",
+		Pass:   blockOK,
+		Detail: fmt.Sprintf("q=%d verified for all %d indices", q, n),
+	})
+	// CYCLIC ≡ CYCLIC(1).
+	cycOK := true
+	for i := 1; i <= n; i++ {
+		if (dist.Cyclic{K: 1}).Map(i, n, np) != (i-1)%np+1 {
+			cycOK = false
+		}
+	}
+	checks = append(checks, Check{
+		Name:   "§4.1.3 CYCLIC maps round-robin (CYCLIC ≡ CYCLIC(1))",
+		Pass:   cycOK,
+		Detail: fmt.Sprintf("verified for all %d indices", n),
+	})
+	// GENERAL_BLOCK: block i's range bounded by G.
+	gbOK := (gb.Map(gb.Bounds[0], n, np) == 1) && (gb.Map(gb.Bounds[0]+1, n, np) == 2) &&
+		(gb.Map(n, n, np) == np)
+	checks = append(checks, Check{
+		Name:   "§4.1.2 GENERAL_BLOCK: G(i) is the upper bound of block i; block NP extends to N",
+		Pass:   gbOK,
+		Detail: fmt.Sprintf("bounds %v over [1:%d]", gb.Bounds, n),
+	})
+	return Result{ID: "E1", Title: "distribution formats (§4.1)", Table: b.String(), Checks: checks}, nil
+}

@@ -1,0 +1,235 @@
+package exper
+
+import (
+	"fmt"
+
+	"hpfnt/hpf"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/workload"
+)
+
+// staggeredTemplateProgram builds the Thole example (§8.1.1) under
+// the HPF baseline template model, with the template distributed by
+// the given format keyword over an r×c grid. doubled selects the
+// doubled template T(0:2N,0:2N) of the original posting; otherwise
+// the (N+1)×(N+1) template the paper suggests ("declaring a template
+// of size (N+1,N+1)").
+func staggeredTemplateProgram(n, r, c int, format string, doubled bool) (workload.StaggeredMappings, error) {
+	prog, err := hpf.NewProgram("staggered-template", r*c)
+	if err != nil {
+		return workload.StaggeredMappings{}, err
+	}
+	prog.EnableTemplates()
+	prog.SetParam("N", n)
+	tmpl := "!HPF$ TEMPLATE T(0:2*N,0:2*N)"
+	aligns := `
+		!HPF$ ALIGN P(I,J) WITH T(2*I-1,2*J-1)
+		!HPF$ ALIGN U(I,J) WITH T(2*I,2*J-1)
+		!HPF$ ALIGN V(I,J) WITH T(2*I-1,2*J)`
+	if !doubled {
+		tmpl = "!HPF$ TEMPLATE T(0:N,0:N)"
+		aligns = `
+		!HPF$ ALIGN P(I,J) WITH T(I,J)
+		!HPF$ ALIGN U(I,J) WITH T(I,J)
+		!HPF$ ALIGN V(I,J) WITH T(I,J)`
+	}
+	src := fmt.Sprintf(`
+		PROCESSORS G(%d,%d)
+		REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)
+		%s
+		%s
+		!HPF$ DISTRIBUTE T(%s,%s) TO G
+	`, r, c, tmpl, aligns, format, format)
+	if err := prog.Exec(src); err != nil {
+		return workload.StaggeredMappings{}, err
+	}
+	return staggeredMaps(prog)
+}
+
+// staggeredDirectProgram builds the paper's template-free solution:
+// REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N) with
+// !HPF$ DISTRIBUTE (BLOCK,BLOCK) :: U,V,P — using the Vienna BLOCK
+// definition when vienna is set (the footnote's assumption).
+func staggeredDirectProgram(n, r, c int, vienna bool) (workload.StaggeredMappings, error) {
+	prog, err := hpf.NewProgram("staggered-direct", r*c)
+	if err != nil {
+		return workload.StaggeredMappings{}, err
+	}
+	prog.UseViennaBlock(vienna)
+	prog.SetParam("N", n)
+	src := fmt.Sprintf(`
+		PROCESSORS G(%d,%d)
+		REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)
+		!HPF$ DISTRIBUTE (BLOCK,BLOCK) TO G :: U,V,P
+	`, r, c)
+	if err := prog.Exec(src); err != nil {
+		return workload.StaggeredMappings{}, err
+	}
+	return staggeredMaps(prog)
+}
+
+func staggeredMaps(prog *hpf.Program) (workload.StaggeredMappings, error) {
+	u, err := prog.MappingOf("U")
+	if err != nil {
+		return workload.StaggeredMappings{}, err
+	}
+	v, err := prog.MappingOf("V")
+	if err != nil {
+		return workload.StaggeredMappings{}, err
+	}
+	p, err := prog.MappingOf("P")
+	if err != nil {
+		return workload.StaggeredMappings{}, err
+	}
+	return workload.StaggeredMappings{U: u, V: v, P: p}, nil
+}
+
+// E2StaggeredGrid reproduces the central §8.1.1 comparison on the
+// staggered-grid statement P = U(0:N-1,:)+U(1:N,:)+V(:,0:N-1)+V(:,1:N):
+//
+//   - doubled template + (CYCLIC,CYCLIC): the paper's "worst possible
+//     effect, viz. different processor allocations for any two
+//     neighbors" — every rhs reference is remote;
+//   - template of size (N+1,N+1) + (BLOCK,BLOCK): collocated, only
+//     block-boundary traffic;
+//   - the paper's template-free (BLOCK,BLOCK) with Vienna BLOCK:
+//     equally collocated, no template needed.
+func E2StaggeredGrid(n, r, c int) (Result, error) {
+	np := r * c
+	cost := machine.DefaultCost()
+
+	cyc, err := staggeredTemplateProgram(n, r, c, "CYCLIC", true)
+	if err != nil {
+		return Result{}, err
+	}
+	cycRep, err := workload.StaggeredSweep(n, np, cyc, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	blkT, err := staggeredTemplateProgram(n, r, c, "BLOCK", false)
+	if err != nil {
+		return Result{}, err
+	}
+	blkTRep, err := workload.StaggeredSweep(n, np, blkT, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	direct, err := staggeredDirectProgram(n, r, c, true)
+	if err != nil {
+		return Result{}, err
+	}
+	directRep, err := workload.StaggeredSweep(n, np, direct, cost)
+	if err != nil {
+		return Result{}, err
+	}
+
+	rows := []machine.LabelledReport{
+		{Label: "template(0:2N,0:2N) (CYCLIC,CYCLIC)", Report: cycRep},
+		{Label: "template(N+1,N+1) (BLOCK,BLOCK)", Report: blkTRep},
+		{Label: "template-free (BLOCK,BLOCK) Vienna", Report: directRep},
+	}
+	table := fmt.Sprintf("N=%d, processors %dx%d\n%s", n, r, c, machine.Table(rows))
+
+	totalRefs := cycRep.LocalRefs + cycRep.RemoteRefs
+	var checks []Check
+	checks = append(checks, Check{
+		Name: "(CYCLIC,CYCLIC) template: every neighbor remote (worst possible effect)",
+		Pass: cycRep.RemoteRefs == totalRefs,
+		Detail: fmt.Sprintf("remote %d of %d references (%.1f%%)",
+			cycRep.RemoteRefs, totalRefs, 100*cycRep.RemoteFraction),
+	})
+	checks = append(checks, Check{
+		Name: "block mappings beat the cyclic template by >10x in remote references",
+		Pass: cycRep.RemoteRefs > 10*directRep.RemoteRefs && cycRep.RemoteRefs > 10*blkTRep.RemoteRefs,
+		Detail: fmt.Sprintf("cyclic %d vs template-block %d vs direct %d",
+			cycRep.RemoteRefs, blkTRep.RemoteRefs, directRep.RemoteRefs),
+	})
+	checks = append(checks, Check{
+		Name: "template-free (BLOCK,BLOCK) matches the (N+1,N+1) template's locality (templates add nothing)",
+		Pass: directRep.RemoteRefs <= blkTRep.RemoteRefs,
+		Detail: fmt.Sprintf("direct %d remote refs vs template %d",
+			directRep.RemoteRefs, blkTRep.RemoteRefs),
+	})
+	// Semantics preserved under every mapping.
+	ok, err := workload.StaggeredVerify(n, np, cyc)
+	if err != nil {
+		return Result{}, err
+	}
+	ok2, err := workload.StaggeredVerify(n, np, direct)
+	if err != nil {
+		return Result{}, err
+	}
+	checks = append(checks, Check{
+		Name:   "distributed execution equals sequential reference under all mappings",
+		Pass:   ok && ok2,
+		Detail: fmt.Sprintf("cyclic-template %v, direct %v", ok, ok2),
+	})
+	return Result{ID: "E2", Title: "staggered grid (§8.1.1, Thole example)", Table: table, Checks: checks}, nil
+}
+
+// E2bBlockVariantAblation reproduces the footnote of §8.1.1: the
+// direct (BLOCK,BLOCK) solution assumes the Vienna Fortran BLOCK; the
+// HPF BLOCK "will cause a problem if and only if the number of
+// processors divides N exactly", because HPF's q = ⌈(N+1)/NP⌉ blocks
+// of the (N+1)-extent arrays U and V misalign with P's blocks.
+func E2bBlockVariantAblation(n, np int) (Result, error) {
+	if np%2 != 0 {
+		return Result{}, fmt.Errorf("E2b requires an even processor count, got %d", np)
+	}
+	r, c := np/2, 2
+	cost := machine.DefaultCost()
+
+	runPair := func(n int) (viennaRemote, hpfRemote int64, err error) {
+		v, err := staggeredDirectProgram(n, r, c, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		vRep, err := workload.StaggeredSweep(n, r*c, v, cost)
+		if err != nil {
+			return 0, 0, err
+		}
+		h, err := staggeredDirectProgram(n, r, c, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		hRep, err := workload.StaggeredSweep(n, r*c, h, cost)
+		if err != nil {
+			return 0, 0, err
+		}
+		return vRep.RemoteRefs, hRep.RemoteRefs, nil
+	}
+
+	// Case 1: r divides n exactly (the problematic case).
+	vDiv, hDiv, err := runPair(n)
+	if err != nil {
+		return Result{}, err
+	}
+	// Case 2: r does not divide n (n+1 chosen so r ∤ (n+1)).
+	n2 := n + 1
+	for n2%r == 0 {
+		n2++
+	}
+	vNo, hNo, err := runPair(n2)
+	if err != nil {
+		return Result{}, err
+	}
+
+	table := fmt.Sprintf("processors %dx%d\n%-28s %14s %14s\n%-28s %14d %14d\n%-28s %14d %14d\n",
+		r, c, "case", "Vienna remote", "HPF remote",
+		fmt.Sprintf("N=%d (NP|N: problem case)", n), vDiv, hDiv,
+		fmt.Sprintf("N=%d (NP∤N)", n2), vNo, hNo)
+
+	checks := []Check{
+		{
+			Name:   "footnote: HPF BLOCK pays extra traffic when NP divides N exactly",
+			Pass:   hDiv > vDiv,
+			Detail: fmt.Sprintf("HPF %d vs Vienna %d remote refs at N=%d", hDiv, vDiv, n),
+		},
+		{
+			Name:   "Vienna BLOCK never loses to HPF BLOCK on this grid",
+			Pass:   vDiv <= hDiv && vNo <= hNo,
+			Detail: fmt.Sprintf("divisible: %d<=%d; non-divisible: %d<=%d", vDiv, hDiv, vNo, hNo),
+		},
+	}
+	return Result{ID: "E2b", Title: "BLOCK variant ablation (§8.1.1 footnote)", Table: table, Checks: checks}, nil
+}

@@ -1,0 +1,157 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"hpfnt/hpf"
+	"hpfnt/internal/inquiry"
+)
+
+// E3ProcedureBoundary reproduces §8.1.2 and §7: REAL A(1000)
+// distributed CYCLIC(3), passing the section A(2:996:2) to SUB(X)
+// under the four dummy modes. Inheritance transfers the (not
+// explicitly specifiable) section mapping at zero cost and inquiry
+// functions describe it; explicit remapping moves the section in and
+// restores it on exit; inheritance-matching detects the mismatch and
+// reports the program non-conforming.
+func E3ProcedureBoundary() (Result, error) {
+	mk := func() (*hpf.Program, error) {
+		prog, err := hpf.NewProgram("main", 8)
+		if err != nil {
+			return nil, err
+		}
+		err = prog.Exec(`
+			PROCESSORS P(8)
+			REAL A(1000)
+			!HPF$ DISTRIBUTE A(CYCLIC(3)) TO P
+		`)
+		return prog, err
+	}
+	section, err := hpf.Span(2, 996, 2)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type row struct {
+		mode       string
+		remapIn    int
+		remapOut   int
+		conforming bool
+		note       string
+	}
+	var rows []row
+
+	// Inherit.
+	prog, err := mk()
+	if err != nil {
+		return Result{}, err
+	}
+	tg, err := prog.TargetOf("P")
+	if err != nil {
+		return Result{}, err
+	}
+	fr, err := prog.Call("SUB",
+		[]hpf.DummySpec{{Name: "X", Mode: hpf.Inherit}},
+		[]hpf.Actual{{Name: "A", Section: []hpf.Triplet{section}}})
+	if err != nil {
+		return Result{}, err
+	}
+	xm, err := fr.Callee.MappingOf("X")
+	if err != nil {
+		return Result{}, err
+	}
+	info := inquiry.Describe(xm)
+	if err := fr.Return(); err != nil {
+		return Result{}, err
+	}
+	rows = append(rows, row{"inherit (*)", fr.Bindings[0].RemapIn, fr.Bindings[0].RemapOut, true,
+		"inquiry: " + info.Render()})
+	inheritInfo := info
+
+	// Explicit BLOCK.
+	prog2, err := mk()
+	if err != nil {
+		return Result{}, err
+	}
+	tg2, _ := prog2.TargetOf("P")
+	fr2, err := prog2.Call("SUB",
+		[]hpf.DummySpec{{Name: "X", Mode: hpf.Explicit, Formats: []hpf.Format{hpf.BLOCK}, Target: tg2}},
+		[]hpf.Actual{{Name: "A", Section: []hpf.Triplet{section}}})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := fr2.Return(); err != nil {
+		return Result{}, err
+	}
+	rows = append(rows, row{"explicit (BLOCK)", fr2.Bindings[0].RemapIn, fr2.Bindings[0].RemapOut, true,
+		"remapped on entry, restored on exit"})
+
+	// Inherit-matching with a mismatching spec: non-conforming.
+	prog3, err := mk()
+	if err != nil {
+		return Result{}, err
+	}
+	tg3, _ := prog3.TargetOf("P")
+	_, err = prog3.Call("SUB",
+		[]hpf.DummySpec{{Name: "X", Mode: hpf.InheritMatch, Formats: []hpf.Format{hpf.CYCLICK(3)}, Target: tg3}},
+		[]hpf.Actual{{Name: "A", Section: []hpf.Triplet{section}}})
+	mismatchCaught := err != nil && strings.Contains(err.Error(), "not HPF-conforming")
+	rows = append(rows, row{"inherit-match (CYCLIC(3))", 0, 0, !mismatchCaught,
+		"section mapping ≠ CYCLIC(3) of the section: non-conforming"})
+
+	// Inherit-matching on the whole array: conforming.
+	prog4, err := mk()
+	if err != nil {
+		return Result{}, err
+	}
+	tg4, _ := prog4.TargetOf("P")
+	fr4, err := prog4.Call("SUB",
+		[]hpf.DummySpec{{Name: "X", Mode: hpf.InheritMatch, Formats: []hpf.Format{hpf.CYCLICK(3)}, Target: tg4}},
+		[]hpf.Actual{{Name: "A"}})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := fr4.Return(); err != nil {
+		return Result{}, err
+	}
+	rows = append(rows, row{"inherit-match whole A", fr4.Bindings[0].RemapIn, fr4.Bindings[0].RemapOut, true,
+		"matches: zero movement"})
+	_ = tg
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "A(1000) CYCLIC(3) TO P(8); CALL SUB(A(2:996:2)) — 498 elements\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s %12s  %s\n", "dummy mode", "moved-in", "moved-out", "conforming", "note")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %10d %10d %12v  %s\n", r.mode, r.remapIn, r.remapOut, r.conforming, r.note)
+	}
+
+	checks := []Check{
+		{
+			Name:   "inherit transfers the section mapping with zero data movement",
+			Pass:   rows[0].remapIn == 0 && rows[0].remapOut == 0,
+			Detail: fmt.Sprintf("in=%d out=%d", rows[0].remapIn, rows[0].remapOut),
+		},
+		{
+			Name:   "inquiry functions describe the inherited (non-format-expressible) mapping (§8.2)",
+			Pass:   inheritInfo.Inherited && inheritInfo.NP == 8,
+			Detail: inheritInfo.Render(),
+		},
+		{
+			Name:   "explicit remap moves Θ(section) in and restores the same volume on exit (§7)",
+			Pass:   rows[1].remapIn > 300 && rows[1].remapIn == rows[1].remapOut,
+			Detail: fmt.Sprintf("in=%d out=%d of 498", rows[1].remapIn, rows[1].remapOut),
+		},
+		{
+			Name:   "inheritance-matching flags a mismatching section distribution as non-conforming",
+			Pass:   mismatchCaught,
+			Detail: fmt.Sprintf("error observed: %v", mismatchCaught),
+		},
+		{
+			Name:   "inheritance-matching accepts the matching whole-array distribution at zero cost",
+			Pass:   rows[3].remapIn == 0 && rows[3].remapOut == 0,
+			Detail: fmt.Sprintf("in=%d out=%d", rows[3].remapIn, rows[3].remapOut),
+		},
+	}
+	return Result{ID: "E3", Title: "procedure boundaries (§7, §8.1.2)", Table: b.String(), Checks: checks}, nil
+}

@@ -1,0 +1,89 @@
+// Package exper implements the reproduction experiments E1–E12
+// catalogued in DESIGN.md: one per worked example or quantitative
+// claim of the paper (the paper is a language-design paper and has no
+// numbered tables; each experiment reproduces a specific §-referenced
+// claim). Each experiment returns a Result with a preformatted table
+// and a list of pass/fail checks encoding the claim's expected shape;
+// cmd/hpfbench prints the tables and bench_test.go asserts the
+// checks.
+package exper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check is one verifiable expectation derived from a paper claim.
+type Check struct {
+	// Name states the claim fragment being checked.
+	Name string
+	// Pass reports whether the measurement satisfied it.
+	Pass bool
+	// Detail carries the measured numbers behind the verdict.
+	Detail string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier (E1..E12).
+	ID string
+	// Title summarizes the experiment and its paper source.
+	Title string
+	// Table is the preformatted measurement table.
+	Table string
+	// Checks are the claim assertions.
+	Checks []Check
+}
+
+// Passed reports whether every check passed.
+func (r Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the result for terminal output.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n%s", r.ID, r.Title, r.Table)
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s (%s)\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// All runs every experiment at its default parameters.
+func All() ([]Result, error) {
+	runs := []func() (Result, error){
+		func() (Result, error) { return E1DistributionFormats(16, 4) },
+		func() (Result, error) { return E2StaggeredGrid(64, 4, 4) },
+		func() (Result, error) { return E2bBlockVariantAblation(64, 8) },
+		func() (Result, error) { return E3ProcedureBoundary() },
+		func() (Result, error) { return E4GeneralBlockBalance(4096, 16) },
+		func() (Result, error) { return E5ProcessorSections(64, 8) },
+		func() (Result, error) { return E6RedistributeBundling(256, 8, 4) },
+		func() (Result, error) { return E7RealignSurgery(128, 8) },
+		func() (Result, error) { return E8Allocatables() },
+		func() (Result, error) { return E9CyclicLU(1024, 16) },
+		func() (Result, error) { return E10Replication(64, 8) },
+		func() (Result, error) { return E11Collapse(64, 8) },
+		func() (Result, error) { return E12TemplateLimitations() },
+		func() (Result, error) { return E13GeneralDistributions(1024, 8) },
+	}
+	var out []Result
+	for _, run := range runs {
+		r, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+// runAndCheck executes one experiment and fails the test on any
+// failed claim check, printing the measurement table for diagnosis.
+func runAndCheck(t *testing.T, f func() (Result, error)) {
+	t.Helper()
+	r, err := f()
+	if err != nil {
+		t.Fatalf("experiment error: %v", err)
+	}
+	for _, c := range r.Checks {
+		if !c.Pass {
+			t.Errorf("%s check failed: %s (%s)\n%s", r.ID, c.Name, c.Detail, r.Table)
+		}
+	}
+}
+
+func TestE1(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E1DistributionFormats(16, 4) })
+}
+
+func TestE2SmallGrid(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E2StaggeredGrid(32, 2, 2) })
+}
+
+func TestE2DefaultGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, func() (Result, error) { return E2StaggeredGrid(64, 4, 4) })
+}
+
+func TestE2b(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E2bBlockVariantAblation(64, 8) })
+}
+
+func TestE3(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E3ProcedureBoundary() })
+}
+
+func TestE4(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E4GeneralBlockBalance(4096, 16) })
+}
+
+func TestE4SmallerNP(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E4GeneralBlockBalance(1024, 4) })
+}
+
+func TestE5(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E5ProcessorSections(64, 8) })
+}
+
+func TestE6(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E6RedistributeBundling(256, 8, 4) })
+}
+
+func TestE7(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E7RealignSurgery(128, 8) })
+}
+
+func TestE8(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E8Allocatables() })
+}
+
+func TestE9(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E9CyclicLU(1024, 16) })
+}
+
+func TestE10(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E10Replication(64, 8) })
+}
+
+func TestE11(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E11Collapse(64, 8) })
+}
+
+func TestE12(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E12TemplateLimitations() })
+}
+
+func TestE13(t *testing.T) {
+	runAndCheck(t, func() (Result, error) { return E13GeneralDistributions(1024, 8) })
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results, err := All()
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(results) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			t.Errorf("%s failed:\n%s", r.ID, r.Render())
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := Result{
+		ID: "EX", Title: "demo", Table: "table\n",
+		Checks: []Check{
+			{Name: "good", Pass: true, Detail: "d1"},
+			{Name: "bad", Pass: false, Detail: "d2"},
+		},
+	}
+	out := r.Render()
+	for _, want := range []string{"== EX: demo ==", "[PASS] good", "[FAIL] bad", "table"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if r.Passed() {
+		t.Fatal("result with a failing check must not pass")
+	}
+}

@@ -1,0 +1,388 @@
+// Package expr implements the scalar integer expressions permitted in
+// the paper's alignment functions (§5.1): expressions built with "+",
+// "-", and "*" that are linear in at most one align-dummy, optionally
+// using the intrinsic functions MAX, MIN, LBOUND, UBOUND and SIZE
+// ("Since linear expressions cannot handle some frequently occurring
+// cases, such as truncation at either end of the alignment, we also
+// allow the intrinsic functions MAX, MIN, LBOUND, UBOUND, and SIZE to
+// be used in alignment functions").
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpfnt/internal/index"
+)
+
+// Env supplies the values needed to evaluate an expression: bindings
+// for align-dummies and bounds information for arrays referenced by
+// the LBOUND/UBOUND/SIZE intrinsics.
+type Env struct {
+	// Dummies maps align-dummy names to their current values.
+	Dummies map[string]int
+	// Bounds returns the subscript triplet of the given 1-based
+	// dimension of the named array. It may be nil if no intrinsic
+	// referencing array bounds occurs.
+	Bounds func(array string, dim int) (index.Triplet, error)
+}
+
+// Value binds a single dummy name to v in a fresh environment.
+func Value(name string, v int) Env {
+	return Env{Dummies: map[string]int{name: v}}
+}
+
+// Expr is a scalar integer expression.
+type Expr interface {
+	// Eval computes the expression's value under env.
+	Eval(env Env) (int, error)
+	// CollectDummies adds the names of all align-dummies occurring in
+	// the expression to set.
+	CollectDummies(set map[string]bool)
+	// String renders the expression in Fortran-like syntax.
+	String() string
+}
+
+// Dummies returns the sorted names of align-dummies occurring in e.
+func Dummies(e Expr) []string {
+	set := map[string]bool{}
+	e.CollectDummies(set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsDummyless reports whether e contains no align-dummy (a
+// "dummyless-expr" in the paper's grammar).
+func IsDummyless(e Expr) bool { return len(Dummies(e)) == 0 }
+
+// Const is an integer literal.
+type Const int
+
+// Eval returns the literal value.
+func (c Const) Eval(Env) (int, error) { return int(c), nil }
+
+// CollectDummies is a no-op for literals.
+func (c Const) CollectDummies(map[string]bool) {}
+
+func (c Const) String() string { return fmt.Sprint(int(c)) }
+
+// Dummy references an align-dummy by name.
+type Dummy string
+
+// Eval looks the dummy up in the environment.
+func (d Dummy) Eval(env Env) (int, error) {
+	v, ok := env.Dummies[string(d)]
+	if !ok {
+		return 0, fmt.Errorf("expr: unbound align-dummy %q", string(d))
+	}
+	return v, nil
+}
+
+// CollectDummies records the dummy's name.
+func (d Dummy) CollectDummies(set map[string]bool) { set[string(d)] = true }
+
+func (d Dummy) String() string { return string(d) }
+
+// BinOp identifies an arithmetic operator.
+type BinOp int
+
+// The operators permitted by the paper: "+", "-" and "*".
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	}
+	return "?"
+}
+
+// Bin is a binary arithmetic expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Add returns l+r.
+func Add(l, r Expr) Expr { return Bin{OpAdd, l, r} }
+
+// Sub returns l-r.
+func Sub(l, r Expr) Expr { return Bin{OpSub, l, r} }
+
+// Mul returns l*r.
+func Mul(l, r Expr) Expr { return Bin{OpMul, l, r} }
+
+// Affine returns a*J+b for the named dummy, simplifying trivial
+// coefficients.
+func Affine(a int, dummy string, b int) Expr {
+	var e Expr
+	switch a {
+	case 0:
+		return Const(b)
+	case 1:
+		e = Dummy(dummy)
+	default:
+		e = Mul(Const(a), Dummy(dummy))
+	}
+	switch {
+	case b == 0:
+		return e
+	case b < 0:
+		return Sub(e, Const(-b))
+	default:
+		return Add(e, Const(b))
+	}
+}
+
+// Eval computes the operation.
+func (b Bin) Eval(env Env) (int, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	}
+	return 0, fmt.Errorf("expr: unknown operator %d", int(b.Op))
+}
+
+// CollectDummies descends into both operands.
+func (b Bin) CollectDummies(set map[string]bool) {
+	b.L.CollectDummies(set)
+	b.R.CollectDummies(set)
+}
+
+func (b Bin) String() string {
+	l, r := b.L.String(), b.R.String()
+	if b.Op == OpMul {
+		if lb, ok := b.L.(Bin); ok && lb.Op != OpMul {
+			l = "(" + l + ")"
+		}
+		if rb, ok := b.R.(Bin); ok && rb.Op != OpMul {
+			r = "(" + r + ")"
+		}
+	}
+	if b.Op == OpSub {
+		if rb, ok := b.R.(Bin); ok && (rb.Op == OpAdd || rb.Op == OpSub) {
+			r = "(" + r + ")"
+		}
+	}
+	return l + b.Op.String() + r
+}
+
+// MinMax is the MAX or MIN intrinsic over two or more arguments.
+type MinMax struct {
+	IsMax bool
+	Args  []Expr
+}
+
+// Max returns MAX(args...).
+func Max(args ...Expr) Expr { return MinMax{IsMax: true, Args: args} }
+
+// Min returns MIN(args...).
+func Min(args ...Expr) Expr { return MinMax{IsMax: false, Args: args} }
+
+// Eval computes the extremum of the arguments.
+func (m MinMax) Eval(env Env) (int, error) {
+	if len(m.Args) == 0 {
+		return 0, errors.New("expr: MAX/MIN requires at least one argument")
+	}
+	best, err := m.Args[0].Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	for _, a := range m.Args[1:] {
+		v, err := a.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if (m.IsMax && v > best) || (!m.IsMax && v < best) {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// CollectDummies descends into all arguments.
+func (m MinMax) CollectDummies(set map[string]bool) {
+	for _, a := range m.Args {
+		a.CollectDummies(set)
+	}
+}
+
+func (m MinMax) String() string {
+	name := "MIN"
+	if m.IsMax {
+		name = "MAX"
+	}
+	parts := make([]string, len(m.Args))
+	for i, a := range m.Args {
+		parts[i] = a.String()
+	}
+	return name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// BoundKind selects among the array-inquiry intrinsics.
+type BoundKind int
+
+// The array-inquiry intrinsics admitted in alignment functions.
+const (
+	KindLBound BoundKind = iota // LBOUND(array, dim)
+	KindUBound                  // UBOUND(array, dim)
+	KindSize                    // SIZE(array, dim)
+)
+
+func (k BoundKind) String() string {
+	switch k {
+	case KindLBound:
+		return "LBOUND"
+	case KindUBound:
+		return "UBOUND"
+	case KindSize:
+		return "SIZE"
+	}
+	return "?"
+}
+
+// Bound is an LBOUND/UBOUND/SIZE intrinsic reference.
+type Bound struct {
+	Kind  BoundKind
+	Array string
+	Dim   int // 1-based dimension
+}
+
+// LBound returns LBOUND(array, dim).
+func LBound(array string, dim int) Expr { return Bound{KindLBound, array, dim} }
+
+// UBound returns UBOUND(array, dim).
+func UBound(array string, dim int) Expr { return Bound{KindUBound, array, dim} }
+
+// Size returns SIZE(array, dim).
+func Size(array string, dim int) Expr { return Bound{KindSize, array, dim} }
+
+// Eval resolves the bound through the environment.
+func (b Bound) Eval(env Env) (int, error) {
+	if env.Bounds == nil {
+		return 0, fmt.Errorf("expr: %s(%s,%d) requires array bounds in environment", b.Kind, b.Array, b.Dim)
+	}
+	t, err := env.Bounds(b.Array, b.Dim)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Kind {
+	case KindLBound:
+		return t.Low, nil
+	case KindUBound:
+		return t.Last(), nil
+	case KindSize:
+		return t.Count(), nil
+	}
+	return 0, fmt.Errorf("expr: unknown bound kind %d", int(b.Kind))
+}
+
+// CollectDummies is a no-op: bounds contain no dummies.
+func (b Bound) CollectDummies(map[string]bool) {}
+
+func (b Bound) String() string { return fmt.Sprintf("%s(%s,%d)", b.Kind, b.Array, b.Dim) }
+
+// Linear is the affine normal form a*J + b of an expression that is
+// linear in a single dummy J (Coeff may be 0 for dummyless
+// expressions, in which case DummyName is empty).
+type Linear struct {
+	Coeff     int
+	DummyName string
+	Offset    int
+}
+
+// Apply evaluates the linear form at j.
+func (l Linear) Apply(j int) int { return l.Coeff*j + l.Offset }
+
+// Linearize attempts to put e into affine normal form a*J+b. It fails
+// for expressions using MAX/MIN (which are not affine), products of
+// two dummy-bearing subexpressions (non-linear), or expressions with
+// more than one distinct dummy. LBOUND/UBOUND/SIZE references are
+// folded to constants through env (dummy bindings in env are ignored).
+func Linearize(e Expr, env Env) (Linear, error) {
+	switch n := e.(type) {
+	case Const:
+		return Linear{Offset: int(n)}, nil
+	case Dummy:
+		return Linear{Coeff: 1, DummyName: string(n)}, nil
+	case Bound:
+		v, err := n.Eval(env)
+		if err != nil {
+			return Linear{}, err
+		}
+		return Linear{Offset: v}, nil
+	case MinMax:
+		return Linear{}, fmt.Errorf("expr: %s is not affine", n)
+	case Bin:
+		l, err := Linearize(n.L, env)
+		if err != nil {
+			return Linear{}, err
+		}
+		r, err := Linearize(n.R, env)
+		if err != nil {
+			return Linear{}, err
+		}
+		switch n.Op {
+		case OpAdd, OpSub:
+			s := 1
+			if n.Op == OpSub {
+				s = -1
+			}
+			out := Linear{Coeff: l.Coeff + s*r.Coeff, Offset: l.Offset + s*r.Offset}
+			switch {
+			case l.DummyName != "" && r.DummyName != "" && l.DummyName != r.DummyName:
+				return Linear{}, fmt.Errorf("expr: multiple dummies %s, %s", l.DummyName, r.DummyName)
+			case l.DummyName != "":
+				out.DummyName = l.DummyName
+			default:
+				out.DummyName = r.DummyName
+			}
+			if out.Coeff == 0 {
+				out.DummyName = ""
+			}
+			return out, nil
+		case OpMul:
+			if l.Coeff != 0 && r.Coeff != 0 {
+				return Linear{}, errors.New("expr: product of two dummy-bearing terms is non-linear")
+			}
+			if l.Coeff == 0 {
+				return Linear{Coeff: l.Offset * r.Coeff, DummyName: nonEmptyIf(r.DummyName, l.Offset*r.Coeff != 0), Offset: l.Offset * r.Offset}, nil
+			}
+			return Linear{Coeff: r.Offset * l.Coeff, DummyName: nonEmptyIf(l.DummyName, r.Offset*l.Coeff != 0), Offset: l.Offset * r.Offset}, nil
+		}
+	}
+	return Linear{}, fmt.Errorf("expr: cannot linearize %s", e)
+}
+
+func nonEmptyIf(name string, keep bool) string {
+	if keep {
+		return name
+	}
+	return ""
+}

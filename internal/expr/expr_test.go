@@ -1,0 +1,179 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpfnt/internal/index"
+)
+
+func TestConstAndDummy(t *testing.T) {
+	if v, err := Const(42).Eval(Env{}); err != nil || v != 42 {
+		t.Fatalf("Const: %d, %v", v, err)
+	}
+	if v, err := Dummy("I").Eval(Value("I", 7)); err != nil || v != 7 {
+		t.Fatalf("Dummy: %d, %v", v, err)
+	}
+	if _, err := Dummy("I").Eval(Env{}); err == nil {
+		t.Fatal("unbound dummy must error")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	// 2*I - 1 at I=5 -> 9 (the staggered grid map of §8.1.1).
+	e := Sub(Mul(Const(2), Dummy("I")), Const(1))
+	v, err := e.Eval(Value("I", 5))
+	if err != nil || v != 9 {
+		t.Fatalf("2*I-1 at 5 = %d, %v", v, err)
+	}
+	// (J-0)*2 + 0 at J=3 -> 6 (colon-triplet normalization form).
+	e2 := Add(Mul(Sub(Dummy("J"), Const(0)), Const(2)), Const(0))
+	if v, _ := e2.Eval(Value("J", 3)); v != 6 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestAffine(t *testing.T) {
+	cases := []struct {
+		a, b, j, want int
+	}{
+		{2, -1, 5, 9},
+		{1, 0, 3, 3},
+		{0, 7, 100, 7},
+		{-3, 2, 4, -10},
+		{1, 5, 2, 7},
+	}
+	for _, c := range cases {
+		e := Affine(c.a, "J", c.b)
+		v, err := e.Eval(Value("J", c.j))
+		if err != nil || v != c.want {
+			t.Errorf("Affine(%d,J,%d) at %d = %d (%v), want %d", c.a, c.b, c.j, v, err, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	e := Max(Dummy("I"), Const(1))
+	if v, _ := e.Eval(Value("I", -5)); v != 1 {
+		t.Fatalf("MAX(I,1) at -5 = %d", v)
+	}
+	if v, _ := e.Eval(Value("I", 9)); v != 9 {
+		t.Fatalf("MAX(I,9) = %d", v)
+	}
+	e2 := Min(Dummy("I"), Const(100), Const(50))
+	if v, _ := e2.Eval(Value("I", 70)); v != 50 {
+		t.Fatalf("MIN = %d", v)
+	}
+	if _, err := (MinMax{IsMax: true}).Eval(Env{}); err == nil {
+		t.Fatal("empty MAX must error")
+	}
+}
+
+func TestBoundIntrinsics(t *testing.T) {
+	env := Env{Bounds: func(array string, dim int) (index.Triplet, error) {
+		if array != "A" || dim != 1 {
+			t.Fatalf("unexpected query %s %d", array, dim)
+		}
+		return index.Unit(0, 63), nil
+	}}
+	if v, err := LBound("A", 1).Eval(env); err != nil || v != 0 {
+		t.Fatalf("LBOUND = %d, %v", v, err)
+	}
+	if v, err := UBound("A", 1).Eval(env); err != nil || v != 63 {
+		t.Fatalf("UBOUND = %d, %v", v, err)
+	}
+	if v, err := Size("A", 1).Eval(env); err != nil || v != 64 {
+		t.Fatalf("SIZE = %d, %v", v, err)
+	}
+	if _, err := Size("A", 1).Eval(Env{}); err == nil {
+		t.Fatal("bounds without resolver must error")
+	}
+}
+
+func TestDummiesCollection(t *testing.T) {
+	e := Add(Mul(Const(2), Dummy("I")), Max(Dummy("I"), Const(1)))
+	ds := Dummies(e)
+	if len(ds) != 1 || ds[0] != "I" {
+		t.Fatalf("Dummies = %v", ds)
+	}
+	if !IsDummyless(Const(3)) {
+		t.Fatal("Const must be dummyless")
+	}
+	if IsDummyless(e) {
+		t.Fatal("e is not dummyless")
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	cases := []struct {
+		e       Expr
+		coeff   int
+		offset  int
+		dummy   string
+		wantErr bool
+	}{
+		{Affine(2, "I", -1), 2, -1, "I", false},
+		{Const(5), 0, 5, "", false},
+		{Dummy("J"), 1, 0, "J", false},
+		{Sub(Dummy("I"), Dummy("I")), 0, 0, "", false},
+		{Mul(Dummy("I"), Dummy("I")), 0, 0, "", true},
+		{Max(Dummy("I"), Const(0)), 0, 0, "", true},
+		{Add(Dummy("I"), Dummy("J")), 0, 0, "", true},
+		{Mul(Const(3), Sub(Dummy("K"), Const(2))), 3, -6, "K", false},
+	}
+	for _, c := range cases {
+		l, err := Linearize(c.e, Env{})
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("Linearize(%s): expected error", c.e)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Linearize(%s): %v", c.e, err)
+			continue
+		}
+		if l.Coeff != c.coeff || l.Offset != c.offset || l.DummyName != c.dummy {
+			t.Errorf("Linearize(%s) = %+v, want coeff=%d offset=%d dummy=%q", c.e, l, c.coeff, c.offset, c.dummy)
+		}
+	}
+}
+
+// Property: Linearize agrees with Eval on affine expressions.
+func TestLinearizeAgreesWithEval(t *testing.T) {
+	f := func(a, b int8, j int8) bool {
+		e := Affine(int(a), "J", int(b))
+		l, err := Linearize(e, Env{})
+		if err != nil {
+			return false
+		}
+		v, err := e.Eval(Value("J", int(j)))
+		if err != nil {
+			return false
+		}
+		return l.Apply(int(j)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Affine(2, "I", -1), "2*I-1"},
+		{Affine(1, "I", 0), "I"},
+		{Max(Dummy("I"), Const(1)), "MAX(I,1)"},
+		{Min(Const(3), Const(4)), "MIN(3,4)"},
+		{LBound("A", 2), "LBOUND(A,2)"},
+		{Mul(Add(Dummy("I"), Const(1)), Const(2)), "(I+1)*2"},
+		{Sub(Dummy("I"), Add(Const(1), Const(2))), "I-(1+2)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

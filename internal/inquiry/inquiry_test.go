@@ -1,0 +1,158 @@
+package inquiry
+
+import (
+	"strings"
+	"testing"
+
+	"hpfnt/internal/align"
+	"hpfnt/internal/core"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/expr"
+	"hpfnt/internal/index"
+	"hpfnt/internal/proc"
+)
+
+func setup(t *testing.T) (*core.Unit, proc.Target) {
+	t.Helper()
+	sys, err := proc.NewSystem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := sys.DeclareArray("P", index.Standard(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewUnit("Q", sys), proc.Whole(arr)
+}
+
+func TestDescribeDirect(t *testing.T) {
+	u, tg := setup(t)
+	u.DeclareArray("A", index.Standard(1, 64, 1, 64))
+	u.Distribute("A", []dist.Format{dist.Cyclic{K: 3}, dist.Collapsed{}}, tg)
+	m, _ := u.MappingOf("A")
+	info := Describe(m)
+	if !info.Direct || info.Aligned || info.Inherited {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Rank != 2 || info.NP != 8 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Dims[0].Format != dist.KindCyclic || info.Dims[0].CyclicK != 3 {
+		t.Fatalf("dim 0 = %+v", info.Dims[0])
+	}
+	if info.Dims[1].Format != dist.KindCollapsed || info.Dims[1].Distributed {
+		t.Fatalf("dim 1 = %+v", info.Dims[1])
+	}
+	if !strings.Contains(info.Render(), "CYCLIC(3)") {
+		t.Fatalf("Render = %q", info.Render())
+	}
+}
+
+func TestDescribeGeneralBlock(t *testing.T) {
+	u, tg := setup(t)
+	u.DeclareArray("C", index.Standard(1, 100))
+	u.Distribute("C", []dist.Format{dist.GeneralBlock{Bounds: []int{10, 20, 40, 55, 70, 80, 90}}}, tg)
+	m, _ := u.MappingOf("C")
+	info := Describe(m)
+	if info.Dims[0].Format != dist.KindGeneralBlock {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Dims[0].GeneralBounds) != 7 {
+		t.Fatalf("bounds = %v", info.Dims[0].GeneralBounds)
+	}
+	if !strings.Contains(info.Render(), "GENERAL_BLOCK") {
+		t.Fatalf("Render = %q", info.Render())
+	}
+}
+
+func TestDescribeAligned(t *testing.T) {
+	u, tg := setup(t)
+	u.DeclareArray("B", index.Standard(1, 32))
+	u.DeclareArray("A", index.Standard(1, 16))
+	u.Distribute("B", []dist.Format{dist.Block{}}, tg)
+	u.Align(align.Spec{
+		Alignee: "A", Axes: []align.Axis{align.DummyAxis("I")},
+		Base: "B", Subs: []align.Subscript{align.ExprSub(expr.Affine(2, "I", 0))},
+	})
+	m, _ := u.MappingOf("A")
+	info := Describe(m)
+	if !info.Aligned || info.Direct {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.NP != 8 {
+		t.Fatalf("NP = %d", info.NP)
+	}
+	if info.Replicated {
+		t.Fatal("affine alignment is not replicated")
+	}
+}
+
+func TestDescribeReplicatedAlignment(t *testing.T) {
+	u, tg := setup(t)
+	u.DeclareArray("D", index.Standard(1, 16, 1, 4))
+	u.DeclareArray("A", index.Standard(1, 16))
+	u.Distribute("D", []dist.Format{dist.Block{}, dist.Collapsed{}}, tg)
+	// ALIGN A(:) WITH D(:,*): replication (§5.1 example 1).
+	u.Align(align.Spec{
+		Alignee: "A", Axes: []align.Axis{align.Colon()},
+		Base: "D", Subs: []align.Subscript{align.TripletSub(index.Unit(1, 16)), align.StarSub()},
+	})
+	m, _ := u.MappingOf("A")
+	info := Describe(m)
+	if !info.Replicated {
+		t.Fatal("replication not detected")
+	}
+}
+
+func TestDescribeInherited(t *testing.T) {
+	// §8.2: inquiry functions determine every aspect of a
+	// distribution passed into a procedure, even inherited section
+	// mappings not expressible as format lists.
+	u, tg := setup(t)
+	u.DeclareArray("A", index.Standard(1, 1000))
+	u.Distribute("A", []dist.Format{dist.Cyclic{K: 3}}, tg)
+	tr, _ := index.NewTriplet(2, 996, 2)
+	fr, err := u.Call("SUB", []core.DummySpec{{Name: "X", Mode: core.DummyInherit}},
+		[]core.Actual{core.SectionArg("A", tr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := fr.Callee.MappingOf("X")
+	info := Describe(m)
+	if !info.Inherited {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.NP != 8 {
+		t.Fatalf("NP = %d", info.NP)
+	}
+	if !strings.Contains(info.Render(), "inherited") {
+		t.Fatalf("Render = %q", info.Render())
+	}
+}
+
+func TestOwnersOfSorted(t *testing.T) {
+	u, tg := setup(t)
+	u.DeclareArray("A", index.Standard(1, 8))
+	u.Distribute("A", []dist.Format{dist.Block{}}, tg)
+	m, _ := u.MappingOf("A")
+	os, err := OwnersOf(m, index.Tuple{5})
+	if err != nil || len(os) != 1 || os[0] != 5 {
+		t.Fatalf("OwnersOf = %v, %v", os, err)
+	}
+}
+
+func TestLocalExtentOf(t *testing.T) {
+	u, tg := setup(t)
+	u.DeclareArray("A", index.Standard(1, 64))
+	u.Distribute("A", []dist.Format{dist.Block{}}, tg)
+	m, _ := u.MappingOf("A")
+	for p := 1; p <= 8; p++ {
+		n, err := LocalExtentOf(m, p)
+		if err != nil || n != 8 {
+			t.Fatalf("LocalExtentOf(%d) = %d, %v", p, n, err)
+		}
+	}
+	if n, _ := LocalExtentOf(m, 99); n != 0 {
+		t.Fatalf("foreign processor extent = %d", n)
+	}
+}

@@ -1,0 +1,221 @@
+// Package machine simulates a distributed-memory multiprocessor at
+// the level the paper's claims live at: which processor owns which
+// element, how much data crosses processor boundaries, and how evenly
+// computational load is spread. Messages follow the classic α–β cost
+// model (per-message latency plus per-element bandwidth cost); the
+// paper's motivating observation — "an operation on two or more data
+// objects is likely to be carried out much faster if they all reside
+// in the same processor" — is what the counters quantify.
+//
+// The simulator substitutes for the iPSC/Delta-class hardware of the
+// paper's era: absolute times are synthetic, but winners, factors and
+// crossovers depend only on the ownership maps and the cost model's
+// relative weights, which is exactly what the experiments compare.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CostModel weights the synthetic execution-time estimate.
+type CostModel struct {
+	// Latency is the per-message startup cost (the α of the α–β
+	// model), in arbitrary time units.
+	Latency float64
+	// PerElement is the per-element transfer cost (β).
+	PerElement float64
+	// PerFlop is the per-unit compute cost.
+	PerFlop float64
+}
+
+// DefaultCost mirrors early-90s message-passing machines, where a
+// message startup cost on the order of a thousand flops made
+// locality dominant (latency/flop ≈ 1000, bandwidth cost ≈ 10 flops
+// per element).
+func DefaultCost() CostModel {
+	return CostModel{Latency: 1000, PerElement: 10, PerFlop: 1}
+}
+
+type pair struct{ src, dst int }
+
+// Machine is a simulated distributed-memory machine with NP
+// processors, numbered 1..NP (abstract processor numbers).
+type Machine struct {
+	NP   int
+	Cost CostModel
+
+	msgs  map[pair]int
+	elems map[pair]int
+
+	localRefs  int64
+	remoteRefs int64
+	load       []int64
+	sendElems  []int64
+	recvElems  []int64
+	sendMsgs   []int64
+	recvMsgs   []int64
+}
+
+// New creates a machine with np processors and the given cost model.
+func New(np int, cost CostModel) (*Machine, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("machine: processor count must be positive, got %d", np)
+	}
+	m := &Machine{NP: np, Cost: cost}
+	m.Reset()
+	return m, nil
+}
+
+// Reset clears all counters.
+func (m *Machine) Reset() {
+	m.msgs = map[pair]int{}
+	m.elems = map[pair]int{}
+	m.localRefs = 0
+	m.remoteRefs = 0
+	m.load = make([]int64, m.NP+1)
+	m.sendElems = make([]int64, m.NP+1)
+	m.recvElems = make([]int64, m.NP+1)
+	m.sendMsgs = make([]int64, m.NP+1)
+	m.recvMsgs = make([]int64, m.NP+1)
+}
+
+func (m *Machine) checkProc(p int) {
+	if p < 1 || p > m.NP {
+		panic(fmt.Sprintf("machine: processor %d out of range 1..%d", p, m.NP))
+	}
+}
+
+// Send records one aggregated message of n elements from src to dst.
+// Self-sends are ignored (local copies are free in this model).
+func (m *Machine) Send(src, dst, n int) {
+	m.checkProc(src)
+	m.checkProc(dst)
+	if src == dst || n <= 0 {
+		return
+	}
+	k := pair{src, dst}
+	m.msgs[k]++
+	m.elems[k] += n
+	m.sendMsgs[src]++
+	m.recvMsgs[dst]++
+	m.sendElems[src] += int64(n)
+	m.recvElems[dst] += int64(n)
+}
+
+// RecordLocal counts n element references satisfied locally.
+func (m *Machine) RecordLocal(n int) { m.localRefs += int64(n) }
+
+// RecordRemote counts n element references requiring remote data
+// (message accounting is done separately via Send, typically
+// aggregated per statement).
+func (m *Machine) RecordRemote(n int) { m.remoteRefs += int64(n) }
+
+// AddLoad adds n compute units to processor p.
+func (m *Machine) AddLoad(p int, n int) {
+	m.checkProc(p)
+	m.load[p] += int64(n)
+}
+
+// Report is a snapshot of the machine's counters and derived metrics.
+type Report struct {
+	NP             int
+	Messages       int64
+	ElementsMoved  int64
+	LocalRefs      int64
+	RemoteRefs     int64
+	TotalLoad      int64
+	MaxLoad        int64
+	LoadImbalance  float64 // MaxLoad / (TotalLoad/NP); 1.0 is perfect
+	CommTime       float64 // max over processors of α·msgs + β·elems (send+recv)
+	ComputeTime    float64 // MaxLoad · PerFlop
+	EstimatedTime  float64 // ComputeTime + CommTime
+	RemoteFraction float64 // RemoteRefs / (LocalRefs+RemoteRefs)
+}
+
+// Stats derives the current report.
+func (m *Machine) Stats() Report {
+	r := Report{NP: m.NP, LocalRefs: m.localRefs, RemoteRefs: m.remoteRefs}
+	for _, c := range m.msgs {
+		r.Messages += int64(c)
+	}
+	for _, c := range m.elems {
+		r.ElementsMoved += int64(c)
+	}
+	for p := 1; p <= m.NP; p++ {
+		r.TotalLoad += m.load[p]
+		if m.load[p] > r.MaxLoad {
+			r.MaxLoad = m.load[p]
+		}
+		ct := m.Cost.Latency*float64(m.sendMsgs[p]+m.recvMsgs[p]) +
+			m.Cost.PerElement*float64(m.sendElems[p]+m.recvElems[p])
+		if ct > r.CommTime {
+			r.CommTime = ct
+		}
+	}
+	if r.TotalLoad > 0 {
+		avg := float64(r.TotalLoad) / float64(m.NP)
+		r.LoadImbalance = float64(r.MaxLoad) / avg
+	}
+	r.ComputeTime = float64(r.MaxLoad) * m.Cost.PerFlop
+	r.EstimatedTime = r.ComputeTime + r.CommTime
+	if tot := r.LocalRefs + r.RemoteRefs; tot > 0 {
+		r.RemoteFraction = float64(r.RemoteRefs) / float64(tot)
+	}
+	return r
+}
+
+// PerProcessorLoad returns a copy of the per-processor load vector
+// (index 1..NP).
+func (m *Machine) PerProcessorLoad() []int64 {
+	out := make([]int64, m.NP+1)
+	copy(out, m.load)
+	return out
+}
+
+// TrafficMatrix lists nonzero (src,dst) traffic entries, sorted.
+func (m *Machine) TrafficMatrix() []TrafficEntry {
+	out := make([]TrafficEntry, 0, len(m.elems))
+	for k, e := range m.elems {
+		out = append(out, TrafficEntry{Src: k.src, Dst: k.dst, Messages: m.msgs[k], Elements: e})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// TrafficEntry is one src→dst aggregate.
+type TrafficEntry struct {
+	Src, Dst           int
+	Messages, Elements int
+}
+
+// String summarizes the report on one line.
+func (r Report) String() string {
+	return fmt.Sprintf("np=%d msgs=%d elems=%d local=%d remote=%d (%.1f%%) maxload=%d imb=%.3f T=%.0f",
+		r.NP, r.Messages, r.ElementsMoved, r.LocalRefs, r.RemoteRefs, 100*r.RemoteFraction, r.MaxLoad, r.LoadImbalance, r.EstimatedTime)
+}
+
+// Table renders several labelled reports as an aligned text table,
+// used by the experiment harness.
+func Table(rows []LabelledReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %10s %12s %12s %10s %8s %12s\n", "mapping", "messages", "elems-moved", "remote-refs", "remote%", "imbal", "est-time")
+	for _, row := range rows {
+		r := row.Report
+		fmt.Fprintf(&b, "%-34s %10d %12d %12d %9.1f%% %8.3f %12.0f\n",
+			row.Label, r.Messages, r.ElementsMoved, r.RemoteRefs, 100*r.RemoteFraction, r.LoadImbalance, r.EstimatedTime)
+	}
+	return b.String()
+}
+
+// LabelledReport pairs a mapping label with its report.
+type LabelledReport struct {
+	Label  string
+	Report Report
+}

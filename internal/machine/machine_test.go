@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func newMachine(t *testing.T, np int) *Machine {
+	t.Helper()
+	m, err := New(np, DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, DefaultCost()); err == nil {
+		t.Fatal("zero processors must fail")
+	}
+}
+
+func TestSendAggregation(t *testing.T) {
+	m := newMachine(t, 4)
+	m.Send(1, 2, 10)
+	m.Send(1, 2, 5)
+	m.Send(3, 4, 7)
+	r := m.Stats()
+	if r.Messages != 3 {
+		t.Fatalf("Messages = %d", r.Messages)
+	}
+	if r.ElementsMoved != 22 {
+		t.Fatalf("Elements = %d", r.ElementsMoved)
+	}
+	tm := m.TrafficMatrix()
+	if len(tm) != 2 {
+		t.Fatalf("traffic entries = %v", tm)
+	}
+	if tm[0].Src != 1 || tm[0].Dst != 2 || tm[0].Elements != 15 || tm[0].Messages != 2 {
+		t.Fatalf("entry = %+v", tm[0])
+	}
+}
+
+func TestSelfSendIgnored(t *testing.T) {
+	m := newMachine(t, 4)
+	m.Send(2, 2, 100)
+	m.Send(1, 2, 0)
+	m.Send(1, 2, -5)
+	r := m.Stats()
+	if r.Messages != 0 || r.ElementsMoved != 0 {
+		t.Fatalf("self/empty sends must be free: %+v", r)
+	}
+}
+
+func TestSendRangeChecks(t *testing.T) {
+	m := newMachine(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range processor must panic")
+		}
+	}()
+	m.Send(1, 3, 1)
+}
+
+func TestLoadAndImbalance(t *testing.T) {
+	m := newMachine(t, 4)
+	m.AddLoad(1, 100)
+	m.AddLoad(2, 100)
+	m.AddLoad(3, 100)
+	m.AddLoad(4, 100)
+	r := m.Stats()
+	if r.LoadImbalance != 1.0 {
+		t.Fatalf("perfect balance: imbalance = %f", r.LoadImbalance)
+	}
+	m.AddLoad(1, 400)
+	r = m.Stats()
+	if r.MaxLoad != 500 || r.TotalLoad != 800 {
+		t.Fatalf("loads: %+v", r)
+	}
+	if r.LoadImbalance != 2.5 {
+		t.Fatalf("imbalance = %f, want 2.5", r.LoadImbalance)
+	}
+	loads := m.PerProcessorLoad()
+	if loads[1] != 500 || loads[4] != 100 {
+		t.Fatalf("per-proc loads = %v", loads)
+	}
+}
+
+func TestRefCounters(t *testing.T) {
+	m := newMachine(t, 2)
+	m.RecordLocal(30)
+	m.RecordRemote(10)
+	r := m.Stats()
+	if r.LocalRefs != 30 || r.RemoteRefs != 10 {
+		t.Fatalf("refs: %+v", r)
+	}
+	if r.RemoteFraction != 0.25 {
+		t.Fatalf("remote fraction = %f", r.RemoteFraction)
+	}
+}
+
+func TestCostModelTime(t *testing.T) {
+	cost := CostModel{Latency: 100, PerElement: 2, PerFlop: 1}
+	m, _ := New(2, cost)
+	m.AddLoad(1, 50)
+	m.Send(1, 2, 10)
+	r := m.Stats()
+	// Comm time is per-processor α·msgs + β·elems: proc 1 sends one
+	// message of 10 elems: 100 + 20 = 120; proc 2 receives the same.
+	if r.CommTime != 120 {
+		t.Fatalf("CommTime = %f", r.CommTime)
+	}
+	if r.ComputeTime != 50 {
+		t.Fatalf("ComputeTime = %f", r.ComputeTime)
+	}
+	if r.EstimatedTime != 170 {
+		t.Fatalf("EstimatedTime = %f", r.EstimatedTime)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := newMachine(t, 2)
+	m.Send(1, 2, 5)
+	m.AddLoad(1, 10)
+	m.RecordRemote(1)
+	m.Reset()
+	r := m.Stats()
+	if r.Messages != 0 || r.TotalLoad != 0 || r.RemoteRefs != 0 {
+		t.Fatalf("reset failed: %+v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	m := newMachine(t, 2)
+	m.Send(1, 2, 5)
+	s := m.Stats().String()
+	if !strings.Contains(s, "np=2") || !strings.Contains(s, "msgs=1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	m := newMachine(t, 2)
+	m.Send(1, 2, 5)
+	out := Table([]LabelledReport{{Label: "block", Report: m.Stats()}})
+	if !strings.Contains(out, "block") || !strings.Contains(out, "mapping") {
+		t.Fatalf("Table = %q", out)
+	}
+}

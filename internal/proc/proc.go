@@ -1,0 +1,389 @@
+// Package proc implements the paper's processor model (§3).
+//
+// Each implementation determines an implicit abstract processor
+// arrangement AP — a linear numbering scheme 1..N for the physical
+// processors. The PROCESSORS directive declares processor array
+// arrangements (with a non-empty index domain) or conceptually scalar
+// arrangements. Every arrangement is mapped onto AP the way Fortran 90
+// EQUIVALENCE defines storage association, with abstract processors
+// playing the role of storage units: element k (0-based column-major
+// position) of every arrangement occupies AP(k+1), so arrangements of
+// equal shape share processors position-by-position, and the sharing
+// of an abstract processor implies the sharing of the associated
+// physical processor.
+//
+// Distribution targets (the TO-clause of DISTRIBUTE) may name a whole
+// processor array or a section thereof, e.g. Q(1:NOP:2) — one of the
+// paper's generalizations over the HPF draft.
+package proc
+
+import (
+	"errors"
+	"fmt"
+
+	"hpfnt/internal/index"
+)
+
+// ScalarPolicy describes where data mapped to a conceptually scalar
+// processor arrangement resides (§3: "may reside in a single control
+// processor (if the machine has one), or may reside in an arbitrarily
+// chosen processor, or may be replicated over all processors").
+type ScalarPolicy int
+
+// The scalar arrangement policies enumerated in §3.
+const (
+	// ScalarControl places scalar-arrangement data on processor 1
+	// (the control processor).
+	ScalarControl ScalarPolicy = iota
+	// ScalarArbitrary places scalar-arrangement data on an
+	// implementation-chosen processor (we choose deterministically by
+	// hashing the arrangement name, so runs are reproducible).
+	ScalarArbitrary
+	// ScalarReplicated replicates scalar-arrangement data over all
+	// processors.
+	ScalarReplicated
+)
+
+// AbstractProcessors is the implicit linear arrangement AP of §3,
+// numbering the physical processors 1..N.
+type AbstractProcessors struct {
+	n int
+}
+
+// NewAP creates the abstract processor arrangement for a machine with
+// n physical processors.
+func NewAP(n int) (*AbstractProcessors, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("proc: abstract processor count must be positive, got %d", n)
+	}
+	return &AbstractProcessors{n: n}, nil
+}
+
+// N reports the number of abstract processors.
+func (ap *AbstractProcessors) N() int { return ap.n }
+
+// Valid reports whether p is a legal 1-based abstract processor
+// number.
+func (ap *AbstractProcessors) Valid(p int) bool { return p >= 1 && p <= ap.n }
+
+// Arrangement is a declared processor arrangement: either a processor
+// array arrangement (Scalar == false, with a non-empty index domain)
+// or a conceptually scalar arrangement (Scalar == true).
+type Arrangement struct {
+	Name   string
+	Dom    index.Domain
+	Scalar bool
+	Policy ScalarPolicy
+
+	ap *AbstractProcessors
+}
+
+// Size reports the number of abstract processors the arrangement
+// occupies (1 for scalar arrangements).
+func (a *Arrangement) Size() int {
+	if a.Scalar {
+		return 1
+	}
+	return a.Dom.Size()
+}
+
+// Rank reports the rank of the arrangement's index domain.
+func (a *Arrangement) Rank() int { return a.Dom.Rank() }
+
+// APNumber returns the 1-based abstract processor number occupied by
+// the arrangement element at tuple t, per the EQUIVALENCE-style
+// mapping (column-major, based at AP(1)).
+func (a *Arrangement) APNumber(t index.Tuple) (int, error) {
+	if a.Scalar {
+		return a.scalarAP(), nil
+	}
+	off, ok := a.Dom.Offset(t)
+	if !ok {
+		return 0, fmt.Errorf("proc: %s is not an index of arrangement %s%s", t, a.Name, a.Dom)
+	}
+	return off + 1, nil
+}
+
+// ScalarAPNumbers returns the abstract processor numbers holding data
+// mapped to a scalar arrangement (several when Policy is
+// ScalarReplicated).
+func (a *Arrangement) ScalarAPNumbers() []int {
+	if !a.Scalar {
+		return nil
+	}
+	if a.Policy == ScalarReplicated {
+		out := make([]int, a.ap.N())
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	return []int{a.scalarAP()}
+}
+
+func (a *Arrangement) scalarAP() int {
+	switch a.Policy {
+	case ScalarControl:
+		return 1
+	case ScalarArbitrary:
+		h := 0
+		for _, c := range a.Name {
+			h = (h*131 + int(c)) % a.ap.N()
+		}
+		return h + 1
+	default:
+		return 1
+	}
+}
+
+// String renders the arrangement declaration.
+func (a *Arrangement) String() string {
+	if a.Scalar {
+		return fmt.Sprintf("PROCESSORS %s", a.Name)
+	}
+	return fmt.Sprintf("PROCESSORS %s%s", a.Name, a.Dom)
+}
+
+// System holds the abstract processor arrangement and all declared
+// arrangements of a program unit.
+type System struct {
+	AP           *AbstractProcessors
+	arrangements map[string]*Arrangement
+	order        []string
+}
+
+// NewSystem creates a system with n abstract (physical) processors.
+func NewSystem(n int) (*System, error) {
+	ap, err := NewAP(n)
+	if err != nil {
+		return nil, err
+	}
+	return &System{AP: ap, arrangements: map[string]*Arrangement{}}, nil
+}
+
+// DeclareArray declares a processor array arrangement with the given
+// non-empty index domain. Per §3, the arrangement must fit within the
+// abstract processor arrangement it is equivalenced to.
+func (s *System) DeclareArray(name string, dom index.Domain) (*Arrangement, error) {
+	if name == "" {
+		return nil, errors.New("proc: arrangement name must be non-empty")
+	}
+	if _, dup := s.arrangements[name]; dup {
+		return nil, fmt.Errorf("proc: arrangement %s already declared", name)
+	}
+	if dom.Rank() == 0 || dom.Empty() {
+		return nil, fmt.Errorf("proc: processor array arrangement %s requires a non-empty index domain", name)
+	}
+	if !dom.IsStandard() {
+		return nil, fmt.Errorf("proc: arrangement %s must be declared over a standard index domain, got %s", name, dom)
+	}
+	if dom.Size() > s.AP.N() {
+		return nil, fmt.Errorf("proc: arrangement %s has %d elements but only %d abstract processors exist", name, dom.Size(), s.AP.N())
+	}
+	a := &Arrangement{Name: name, Dom: dom, ap: s.AP}
+	s.arrangements[name] = a
+	s.order = append(s.order, name)
+	return a, nil
+}
+
+// DeclareScalar declares a conceptually scalar processor arrangement
+// with the given placement policy.
+func (s *System) DeclareScalar(name string, policy ScalarPolicy) (*Arrangement, error) {
+	if name == "" {
+		return nil, errors.New("proc: arrangement name must be non-empty")
+	}
+	if _, dup := s.arrangements[name]; dup {
+		return nil, fmt.Errorf("proc: arrangement %s already declared", name)
+	}
+	a := &Arrangement{Name: name, Scalar: true, Policy: policy, ap: s.AP}
+	s.arrangements[name] = a
+	s.order = append(s.order, name)
+	return a, nil
+}
+
+// Lookup finds a declared arrangement by name.
+func (s *System) Lookup(name string) (*Arrangement, bool) {
+	a, ok := s.arrangements[name]
+	return a, ok
+}
+
+// Names lists the declared arrangements in declaration order.
+func (s *System) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Target is a distribution target (the TO-clause): a processor array
+// arrangement or a section thereof. A section subscript written as a
+// scalar (e.g. the "2" in Q(1:4,2)) selects one position and drops
+// the dimension from the target's effective rank, following Fortran
+// section semantics.
+type Target struct {
+	Arr *Arrangement
+	// Sel is the selected section; when its rank is 0 on an array
+	// arrangement, the whole arrangement is targeted.
+	Sel index.Domain
+	// Drop marks dimensions selected by scalar subscripts, which do
+	// not count toward the effective rank.
+	Drop []bool
+}
+
+// Whole targets the entire arrangement.
+func Whole(a *Arrangement) Target { return Target{Arr: a} }
+
+// SectionOf targets a section of the arrangement, validating bounds.
+func SectionOf(a *Arrangement, sel ...index.Triplet) (Target, error) {
+	return SectionDropping(a, sel, nil)
+}
+
+// SectionDropping targets a section with explicit rank reduction:
+// drop[i] marks dimension i as selected by a scalar subscript (its
+// triplet must then denote a single value).
+func SectionDropping(a *Arrangement, sel []index.Triplet, drop []bool) (Target, error) {
+	if a.Scalar {
+		return Target{}, fmt.Errorf("proc: cannot take a section of scalar arrangement %s", a.Name)
+	}
+	dom, err := a.Dom.Section(sel...)
+	if err != nil {
+		return Target{}, fmt.Errorf("proc: invalid section of %s: %w", a.Name, err)
+	}
+	if dom.Empty() {
+		return Target{}, fmt.Errorf("proc: empty processor section of %s", a.Name)
+	}
+	if drop != nil {
+		if len(drop) != len(sel) {
+			return Target{}, fmt.Errorf("proc: drop mask length %d does not match section rank %d", len(drop), len(sel))
+		}
+		for i, d := range drop {
+			if d && sel[i].Count() != 1 {
+				return Target{}, fmt.Errorf("proc: scalar subscript in dimension %d selects %d values", i+1, sel[i].Count())
+			}
+		}
+	}
+	return Target{Arr: a, Sel: dom, Drop: append([]bool(nil), drop...)}, nil
+}
+
+// fullDomain returns the target's section domain at the arrangement's
+// full rank (scalar-subscript dimensions retained as single-value
+// triplets).
+func (t Target) fullDomain() index.Domain {
+	if t.Sel.Rank() > 0 {
+		return t.Sel
+	}
+	return t.Arr.Dom
+}
+
+// Domain returns the target's effective index domain: the section if
+// present (with scalar-subscript dimensions dropped), otherwise the
+// arrangement's own domain. Because dropped dimensions hold a single
+// value, column-major order over the effective domain coincides with
+// column-major order over the full section.
+func (t Target) Domain() index.Domain {
+	full := t.fullDomain()
+	if t.Drop == nil {
+		return full
+	}
+	var dims []index.Triplet
+	for i, tr := range full.Dims {
+		if i < len(t.Drop) && t.Drop[i] {
+			continue
+		}
+		dims = append(dims, tr)
+	}
+	return index.New(dims...)
+}
+
+// Rank reports the rank of the effective index domain.
+func (t Target) Rank() int { return t.Domain().Rank() }
+
+// NP reports the number of processors in the target.
+func (t Target) NP() int {
+	if t.Arr != nil && t.Arr.Scalar {
+		return 1
+	}
+	return t.Domain().Size()
+}
+
+// APNumbers lists the abstract processor numbers of the target in
+// column-major order of its effective index domain.
+func (t Target) APNumbers() ([]int, error) {
+	if t.Arr == nil {
+		return nil, errors.New("proc: target has no arrangement")
+	}
+	if t.Arr.Scalar {
+		return []int{t.Arr.scalarAP()}, nil
+	}
+	dom := t.fullDomain()
+	out := make([]int, 0, dom.Size())
+	var ferr error
+	dom.ForEach(func(tu index.Tuple) bool {
+		p, err := t.Arr.APNumber(tu)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		out = append(out, p)
+		return true
+	})
+	return out, ferr
+}
+
+// APNumberAt returns the abstract processor at 0-based column-major
+// position k of the target.
+func (t Target) APNumberAt(k int) (int, error) {
+	dom := t.fullDomain()
+	if k < 0 || k >= dom.Size() {
+		return 0, fmt.Errorf("proc: position %d out of range for target of %d processors", k, dom.Size())
+	}
+	if t.Arr.Scalar {
+		return t.Arr.scalarAP(), nil
+	}
+	return t.Arr.APNumber(dom.TupleAt(k))
+}
+
+// Equal reports whether two targets denote the same processor set in
+// the same order.
+func (t Target) Equal(o Target) bool {
+	if (t.Arr == nil) != (o.Arr == nil) {
+		return false
+	}
+	if t.Arr == nil {
+		return true
+	}
+	if t.Arr.Name != o.Arr.Name {
+		return false
+	}
+	return t.fullDomain().Equal(o.fullDomain()) && t.Domain().Rank() == o.Domain().Rank()
+}
+
+// String renders the target in TO-clause syntax, with
+// scalar-subscript dimensions shown as scalars.
+func (t Target) String() string {
+	if t.Arr == nil {
+		return "<implicit>"
+	}
+	if t.Sel.Rank() == 0 {
+		return t.Arr.Name
+	}
+	parts := make([]string, t.Sel.Rank())
+	for i, tr := range t.Sel.Dims {
+		if i < len(t.Drop) && t.Drop[i] {
+			parts[i] = fmt.Sprint(tr.Low)
+		} else {
+			parts[i] = tr.String()
+		}
+	}
+	return t.Arr.Name + "(" + joinComma(parts) + ")"
+}
+
+func joinComma(parts []string) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += ","
+		}
+		s += p
+	}
+	return s
+}

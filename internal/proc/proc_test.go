@@ -1,0 +1,316 @@
+package proc
+
+import (
+	"testing"
+
+	"hpfnt/internal/index"
+)
+
+func sys(t *testing.T, n int) *System {
+	t.Helper()
+	s, err := NewSystem(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewAPValidation(t *testing.T) {
+	if _, err := NewAP(0); err == nil {
+		t.Fatal("AP of size 0 must fail")
+	}
+	ap, err := NewAP(8)
+	if err != nil || ap.N() != 8 {
+		t.Fatalf("NewAP: %v", err)
+	}
+	if !ap.Valid(1) || !ap.Valid(8) || ap.Valid(0) || ap.Valid(9) {
+		t.Fatal("Valid wrong")
+	}
+}
+
+func TestDeclareArrayArrangement(t *testing.T) {
+	s := sys(t, 32)
+	a, err := s.DeclareArray("PR", index.Standard(1, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 32 || a.Rank() != 1 {
+		t.Fatalf("size=%d rank=%d", a.Size(), a.Rank())
+	}
+	// EQUIVALENCE mapping: element k (column-major) -> AP(k+1).
+	for i := 1; i <= 32; i++ {
+		p, err := a.APNumber(index.Tuple{i})
+		if err != nil || p != i {
+			t.Fatalf("APNumber(%d) = %d, %v", i, p, err)
+		}
+	}
+}
+
+func TestEquivalenceSharing(t *testing.T) {
+	// Two arrangements of equal size share processors
+	// position-by-position (storage association, §3).
+	s := sys(t, 16)
+	a, _ := s.DeclareArray("A", index.Standard(1, 16))
+	b, _ := s.DeclareArray("B", index.Standard(1, 4, 1, 4))
+	pa, _ := a.APNumber(index.Tuple{5})
+	pb, _ := b.APNumber(index.Tuple{1, 2}) // column-major offset 4 -> AP 5
+	if pa != pb {
+		t.Fatalf("equivalence sharing violated: %d vs %d", pa, pb)
+	}
+}
+
+func TestColumnMajorAPMapping(t *testing.T) {
+	s := sys(t, 12)
+	b, _ := s.DeclareArray("G", index.Standard(1, 3, 1, 4))
+	// (2,1) -> offset 1 -> AP 2 ; (1,2) -> offset 3 -> AP 4.
+	if p, _ := b.APNumber(index.Tuple{2, 1}); p != 2 {
+		t.Fatalf("got %d", p)
+	}
+	if p, _ := b.APNumber(index.Tuple{1, 2}); p != 4 {
+		t.Fatalf("got %d", p)
+	}
+	if _, err := b.APNumber(index.Tuple{4, 1}); err == nil {
+		t.Fatal("out-of-domain tuple must fail")
+	}
+}
+
+func TestDeclareValidation(t *testing.T) {
+	s := sys(t, 8)
+	if _, err := s.DeclareArray("", index.Standard(1, 4)); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if _, err := s.DeclareArray("P", index.Domain{}); err == nil {
+		t.Fatal("rank-0 array arrangement must fail (non-empty index domain required)")
+	}
+	if _, err := s.DeclareArray("P", index.Standard(1, 9)); err == nil {
+		t.Fatal("arrangement exceeding AP must fail")
+	}
+	if _, err := s.DeclareArray("P", index.Standard(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeclareArray("P", index.Standard(1, 2)); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+	if _, err := s.DeclareArray("S", index.New(index.Triplet{Low: 1, High: 8, Stride: 2})); err == nil {
+		t.Fatal("non-standard domain must fail")
+	}
+}
+
+func TestScalarArrangementPolicies(t *testing.T) {
+	s := sys(t, 8)
+	ctl, _ := s.DeclareScalar("CTL", ScalarControl)
+	if got := ctl.ScalarAPNumbers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("control policy: %v", got)
+	}
+	rep, _ := s.DeclareScalar("REP", ScalarReplicated)
+	if got := rep.ScalarAPNumbers(); len(got) != 8 {
+		t.Fatalf("replicated policy: %v", got)
+	}
+	arb, _ := s.DeclareScalar("ARB", ScalarArbitrary)
+	got := arb.ScalarAPNumbers()
+	if len(got) != 1 || got[0] < 1 || got[0] > 8 {
+		t.Fatalf("arbitrary policy: %v", got)
+	}
+	// Deterministic.
+	if got2 := arb.ScalarAPNumbers(); got2[0] != got[0] {
+		t.Fatalf("arbitrary policy must be deterministic")
+	}
+	if ctl.Size() != 1 {
+		t.Fatalf("scalar size = %d", ctl.Size())
+	}
+}
+
+func TestWholeTarget(t *testing.T) {
+	s := sys(t, 8)
+	a, _ := s.DeclareArray("Q", index.Standard(1, 8))
+	tg := Whole(a)
+	if tg.NP() != 8 || tg.Rank() != 1 {
+		t.Fatalf("NP=%d rank=%d", tg.NP(), tg.Rank())
+	}
+	aps, err := tg.APNumbers()
+	if err != nil || len(aps) != 8 {
+		t.Fatalf("APNumbers: %v %v", aps, err)
+	}
+	for i, p := range aps {
+		if p != i+1 {
+			t.Fatalf("aps[%d]=%d", i, p)
+		}
+	}
+	if tg.String() != "Q" {
+		t.Fatalf("String = %q", tg.String())
+	}
+}
+
+func TestSectionTarget(t *testing.T) {
+	// The paper's example: DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2).
+	s := sys(t, 8)
+	a, _ := s.DeclareArray("Q", index.Standard(1, 8))
+	tr, _ := index.NewTriplet(1, 8, 2)
+	tg, err := SectionOf(a, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NP() != 4 {
+		t.Fatalf("NP = %d, want 4", tg.NP())
+	}
+	aps, _ := tg.APNumbers()
+	want := []int{1, 3, 5, 7}
+	for i := range want {
+		if aps[i] != want[i] {
+			t.Fatalf("aps = %v, want %v", aps, want)
+		}
+	}
+	p, err := tg.APNumberAt(2)
+	if err != nil || p != 5 {
+		t.Fatalf("APNumberAt(2) = %d, %v", p, err)
+	}
+	if _, err := tg.APNumberAt(4); err == nil {
+		t.Fatal("out-of-range position must fail")
+	}
+	if tg.String() != "Q(1:8:2)" {
+		t.Fatalf("String = %q", tg.String())
+	}
+}
+
+func TestSectionValidation(t *testing.T) {
+	s := sys(t, 8)
+	a, _ := s.DeclareArray("Q", index.Standard(1, 8))
+	if _, err := SectionOf(a, index.Unit(0, 4)); err == nil {
+		t.Fatal("out-of-bounds section must fail")
+	}
+	if _, err := SectionOf(a, index.Unit(5, 4)); err == nil {
+		t.Fatal("empty section must fail")
+	}
+	sc, _ := s.DeclareScalar("S", ScalarControl)
+	if _, err := SectionOf(sc, index.Unit(1, 1)); err == nil {
+		t.Fatal("section of scalar arrangement must fail")
+	}
+}
+
+func TestTargetEqual(t *testing.T) {
+	s := sys(t, 8)
+	a, _ := s.DeclareArray("Q", index.Standard(1, 8))
+	b, _ := s.DeclareArray("R", index.Standard(1, 8))
+	t1 := Whole(a)
+	t2 := Whole(a)
+	t3 := Whole(b)
+	tr, _ := index.NewTriplet(1, 8, 2)
+	t4, _ := SectionOf(a, tr)
+	if !t1.Equal(t2) {
+		t.Fatal("identical targets must be equal")
+	}
+	if t1.Equal(t3) {
+		t.Fatal("different arrangements must differ")
+	}
+	if t1.Equal(t4) {
+		t.Fatal("whole vs section must differ")
+	}
+}
+
+func TestMultiDimSection(t *testing.T) {
+	s := sys(t, 16)
+	a, _ := s.DeclareArray("G", index.Standard(1, 4, 1, 4))
+	tg, err := SectionOf(a, index.Unit(2, 3), index.Unit(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NP() != 8 {
+		t.Fatalf("NP = %d", tg.NP())
+	}
+	aps, _ := tg.APNumbers()
+	// Column-major over section: (2,1)(3,1)(2,2)(3,2)... APs: 2,3,6,7,10,11,14,15
+	want := []int{2, 3, 6, 7, 10, 11, 14, 15}
+	for i := range want {
+		if aps[i] != want[i] {
+			t.Fatalf("aps = %v, want %v", aps, want)
+		}
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	s := sys(t, 8)
+	s.DeclareArray("A", index.Standard(1, 2))
+	s.DeclareScalar("B", ScalarControl)
+	if _, ok := s.Lookup("A"); !ok {
+		t.Fatal("lookup A failed")
+	}
+	if _, ok := s.Lookup("Z"); ok {
+		t.Fatal("lookup Z should fail")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSectionDroppingScalarSubscript(t *testing.T) {
+	// Q(1:4,2): the scalar subscript selects one column and drops the
+	// dimension (Fortran section rank reduction).
+	s := sys(t, 8)
+	a, _ := s.DeclareArray("G", index.Standard(1, 4, 1, 2))
+	tg, err := SectionDropping(a,
+		[]index.Triplet{index.Unit(1, 4), index.Unit(2, 2)},
+		[]bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Rank() != 1 {
+		t.Fatalf("rank = %d, want 1 (dimension dropped)", tg.Rank())
+	}
+	if tg.NP() != 4 {
+		t.Fatalf("NP = %d", tg.NP())
+	}
+	aps, err := tg.APNumbers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 6, 7, 8}
+	for i := range want {
+		if aps[i] != want[i] {
+			t.Fatalf("aps = %v, want %v", aps, want)
+		}
+	}
+	if tg.String() != "G(1:4,2)" {
+		t.Fatalf("String = %q", tg.String())
+	}
+	// A scalar-subscript drop over a multi-value triplet is invalid.
+	if _, err := SectionDropping(a,
+		[]index.Triplet{index.Unit(1, 4), index.Unit(1, 2)},
+		[]bool{false, true}); err == nil {
+		t.Fatal("multi-value scalar subscript must fail")
+	}
+	// Mask length mismatch.
+	if _, err := SectionDropping(a,
+		[]index.Triplet{index.Unit(1, 4), index.Unit(2, 2)},
+		[]bool{true}); err == nil {
+		t.Fatal("mask length mismatch must fail")
+	}
+}
+
+func TestTargetStringForms(t *testing.T) {
+	s := sys(t, 8)
+	a, _ := s.DeclareArray("Q", index.Standard(1, 8))
+	if got := (Target{}).String(); got != "<implicit>" {
+		t.Fatalf("implicit target String = %q", got)
+	}
+	tr, _ := index.NewTriplet(1, 8, 2)
+	tg, _ := SectionOf(a, tr)
+	if tg.String() != "Q(1:8:2)" {
+		t.Fatalf("String = %q", tg.String())
+	}
+	if (Whole(a)).String() != "Q" {
+		t.Fatalf("whole String = %q", Whole(a).String())
+	}
+}
+
+func TestArrangementString(t *testing.T) {
+	s := sys(t, 8)
+	a, _ := s.DeclareArray("Q", index.Standard(1, 8))
+	if got := a.String(); got != "PROCESSORS Q[1:8]" {
+		t.Fatalf("String = %q", got)
+	}
+	sc, _ := s.DeclareScalar("S", ScalarControl)
+	if got := sc.String(); got != "PROCESSORS S" {
+		t.Fatalf("String = %q", got)
+	}
+}

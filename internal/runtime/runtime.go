@@ -1,0 +1,446 @@
+// Package runtime executes array statements over distributed arrays
+// under the owner-computes rule, charging communication to a
+// simulated machine (package machine). It is the execution substrate
+// for the paper's experiments: a statement like the staggered-grid
+// update of §8.1.1,
+//
+//	P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)
+//
+// is expressed as a shift-assignment whose right-hand-side references
+// are shifted reads of distributed arrays; every reference whose
+// owner differs from the left-hand-side owner becomes remote traffic,
+// aggregated into one message per processor pair per statement
+// (message vectorization), with per-statement deduplication of
+// repeated remote elements.
+package runtime
+
+import (
+	"fmt"
+
+	"hpfnt/internal/core"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+)
+
+// Array is a distributed array: a dense global value backing plus the
+// materialized ownership map of its element mapping. (Semantically
+// each processor stores only its owned elements; the dense backing
+// keeps verification simple while the ownership map drives all
+// communication accounting.)
+type Array struct {
+	Name string
+	Dom  index.Domain
+
+	data    []float64
+	owners  []int32 // single-owner fast path; nil when replicated
+	repOwns [][]int // full owner sets when replicated
+	mapping core.ElementMapping
+}
+
+// NewArray materializes a distributed array from an element mapping,
+// zero-initialized.
+func NewArray(name string, m core.ElementMapping) (*Array, error) {
+	a := &Array{Name: name, Dom: m.Domain(), mapping: m}
+	a.data = make([]float64, a.Dom.Size())
+	g, err := core.OwnerGrid(m)
+	if err == nil {
+		a.owners = g
+		return a, nil
+	}
+	rg, rerr := core.ReplicatedGrid(m)
+	if rerr != nil {
+		return nil, fmt.Errorf("runtime: materializing %s: %w", name, rerr)
+	}
+	a.repOwns = rg
+	return a, nil
+}
+
+// Mapping returns the array's element mapping.
+func (a *Array) Mapping() core.ElementMapping { return a.mapping }
+
+// Replicated reports whether any element has more than one owner.
+func (a *Array) Replicated() bool { return a.owners == nil }
+
+// At reads the element at tuple t.
+func (a *Array) At(t index.Tuple) float64 {
+	off, ok := a.Dom.Offset(t)
+	if !ok {
+		panic(fmt.Sprintf("runtime: %s: index %s out of domain %s", a.Name, t, a.Dom))
+	}
+	return a.data[off]
+}
+
+// Set writes the element at tuple t.
+func (a *Array) Set(t index.Tuple, v float64) {
+	off, ok := a.Dom.Offset(t)
+	if !ok {
+		panic(fmt.Sprintf("runtime: %s: index %s out of domain %s", a.Name, t, a.Dom))
+	}
+	a.data[off] = v
+}
+
+// Fill initializes every element from fn.
+func (a *Array) Fill(fn func(t index.Tuple) float64) {
+	k := 0
+	a.Dom.ForEach(func(t index.Tuple) bool {
+		a.data[k] = fn(t)
+		k++
+		return true
+	})
+}
+
+// Data exposes the dense backing (column-major) for verification.
+func (a *Array) Data() []float64 { return a.data }
+
+// ownerSet returns the owners of the element at offset off.
+func (a *Array) ownerSet(off int) []int {
+	if a.owners != nil {
+		return []int{int(a.owners[off])}
+	}
+	return a.repOwns[off]
+}
+
+// ownedBy reports whether processor p owns the element at offset off.
+func (a *Array) ownedBy(off int, p int) bool {
+	if a.owners != nil {
+		return int(a.owners[off]) == p
+	}
+	for _, o := range a.repOwns[off] {
+		if o == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Term is one right-hand-side reference Coeff * Src(t + Shift).
+type Term struct {
+	Src   *Array
+	Shift []int
+	Coeff float64
+}
+
+// Ref returns a shifted reference term.
+func Ref(src *Array, coeff float64, shift ...int) Term {
+	return Term{Src: src, Shift: shift, Coeff: coeff}
+}
+
+type commKey struct {
+	src *Array
+	off int
+	dst int
+}
+
+// ShiftAssign executes lhs(t) = Σ_k coeff_k · src_k(t + shift_k) for
+// every t in region (a sub-domain of lhs), under the owner-computes
+// rule: each owner of lhs(t) performs the computation, fetching
+// non-local operands. Fortran array-assignment semantics hold: the
+// whole right-hand side is evaluated before any store. Remote fetches
+// are deduplicated per statement and aggregated into one message per
+// (sender, receiver) pair; the machine's load, reference and traffic
+// counters are updated. A nil machine executes values only.
+func ShiftAssign(m *machine.Machine, lhs *Array, region index.Domain, terms []Term) error {
+	if region.Rank() != lhs.Dom.Rank() {
+		return fmt.Errorf("runtime: region rank %d does not match %s rank %d", region.Rank(), lhs.Name, lhs.Dom.Rank())
+	}
+	for _, tm := range terms {
+		if len(tm.Shift) != lhs.Dom.Rank() {
+			return fmt.Errorf("runtime: term over %s has shift rank %d, want %d", tm.Src.Name, len(tm.Shift), lhs.Dom.Rank())
+		}
+	}
+	// Evaluate into a temporary (simultaneous assignment semantics).
+	vals := make([]float64, region.Size())
+	offs := make([]int, region.Size())
+	ref := make(index.Tuple, lhs.Dom.Rank())
+
+	pairElems := map[[2]int]int{}
+	seen := map[commKey]bool{}
+
+	k := 0
+	var ferr error
+	region.ForEach(func(t index.Tuple) bool {
+		loff, ok := lhs.Dom.Offset(t)
+		if !ok {
+			ferr = fmt.Errorf("runtime: region index %s outside %s domain %s", t, lhs.Name, lhs.Dom)
+			return false
+		}
+		offs[k] = loff
+		sum := 0.0
+		writers := lhs.ownerSet(loff)
+		for _, tm := range terms {
+			for d := range t {
+				ref[d] = t[d] + tm.Shift[d]
+			}
+			roff, ok := tm.Src.Dom.Offset(ref)
+			if !ok {
+				ferr = fmt.Errorf("runtime: reference %s(%s) out of bounds in assignment to %s(%s)", tm.Src.Name, ref, lhs.Name, t)
+				return false
+			}
+			sum += tm.Coeff * tm.Src.data[roff]
+			if m == nil {
+				continue
+			}
+			for _, w := range writers {
+				if tm.Src.ownedBy(roff, w) {
+					m.RecordLocal(1)
+					continue
+				}
+				m.RecordRemote(1)
+				key := commKey{src: tm.Src, off: roff, dst: w}
+				if seen[key] {
+					continue // already fetched for this statement
+				}
+				seen[key] = true
+				sender := tm.Src.ownerSet(roff)[0]
+				pairElems[[2]int{sender, w}]++
+			}
+		}
+		if m != nil {
+			for _, w := range writers {
+				m.AddLoad(w, len(terms))
+			}
+		}
+		vals[k] = sum
+		k++
+		return true
+	})
+	if ferr != nil {
+		return ferr
+	}
+	if m != nil {
+		for pr, n := range pairElems {
+			m.Send(pr[0], pr[1], n)
+		}
+	}
+	for i := 0; i < k; i++ {
+		lhs.data[offs[i]] = vals[i]
+	}
+	return nil
+}
+
+// GeneralTerm is a right-hand-side reference Coeff · Src(Map(t)) with
+// an arbitrary (possibly rank-changing) index mapping, covering
+// references like the A(i) in E(i,j) = D(i,j) + A(i).
+type GeneralTerm struct {
+	Src   *Array
+	Coeff float64
+	// Map translates a left-hand-side index tuple to the source's
+	// index tuple. It must return tuples within Src's domain.
+	Map func(index.Tuple) index.Tuple
+}
+
+// GeneralAssign is ShiftAssign with arbitrary per-term index
+// mappings; semantics, owner-computes accounting, per-statement
+// deduplication and message vectorization are identical.
+func GeneralAssign(m *machine.Machine, lhs *Array, region index.Domain, terms []GeneralTerm) error {
+	if region.Rank() != lhs.Dom.Rank() {
+		return fmt.Errorf("runtime: region rank %d does not match %s rank %d", region.Rank(), lhs.Name, lhs.Dom.Rank())
+	}
+	vals := make([]float64, region.Size())
+	offs := make([]int, region.Size())
+	pairElems := map[[2]int]int{}
+	seen := map[commKey]bool{}
+	k := 0
+	var ferr error
+	region.ForEach(func(t index.Tuple) bool {
+		loff, ok := lhs.Dom.Offset(t)
+		if !ok {
+			ferr = fmt.Errorf("runtime: region index %s outside %s domain %s", t, lhs.Name, lhs.Dom)
+			return false
+		}
+		offs[k] = loff
+		sum := 0.0
+		writers := lhs.ownerSet(loff)
+		for _, tm := range terms {
+			ref := tm.Map(t.Clone())
+			roff, ok := tm.Src.Dom.Offset(ref)
+			if !ok {
+				ferr = fmt.Errorf("runtime: reference %s(%s) out of bounds in assignment to %s(%s)", tm.Src.Name, ref, lhs.Name, t)
+				return false
+			}
+			sum += tm.Coeff * tm.Src.data[roff]
+			if m == nil {
+				continue
+			}
+			for _, w := range writers {
+				if tm.Src.ownedBy(roff, w) {
+					m.RecordLocal(1)
+					continue
+				}
+				m.RecordRemote(1)
+				key := commKey{src: tm.Src, off: roff, dst: w}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				sender := tm.Src.ownerSet(roff)[0]
+				pairElems[[2]int{sender, w}]++
+			}
+		}
+		if m != nil {
+			for _, w := range writers {
+				m.AddLoad(w, len(terms))
+			}
+		}
+		vals[k] = sum
+		k++
+		return true
+	})
+	if ferr != nil {
+		return ferr
+	}
+	if m != nil {
+		for pr, n := range pairElems {
+			m.Send(pr[0], pr[1], n)
+		}
+	}
+	for i := 0; i < k; i++ {
+		lhs.data[offs[i]] = vals[i]
+	}
+	return nil
+}
+
+// Remap moves an array to a new element mapping, charging one
+// aggregated message per processor pair for all elements whose owner
+// set changes, and returns the number of elements moved. The values
+// are unchanged; only ownership (and therefore placement) moves. This
+// is the data movement behind REDISTRIBUTE, REALIGN and explicit
+// dummy-argument remapping (§4.2, §5.2, §7).
+func Remap(m *machine.Machine, a *Array, newMap core.ElementMapping) (int, error) {
+	if !newMap.Domain().Equal(a.Dom) {
+		return 0, fmt.Errorf("runtime: remap of %s to mapping over %s (have %s)", a.Name, newMap.Domain(), a.Dom)
+	}
+	var newOwners []int32
+	var newRep [][]int
+	g, err := core.OwnerGrid(newMap)
+	if err == nil {
+		newOwners = g
+	} else {
+		newRep, err = core.ReplicatedGrid(newMap)
+		if err != nil {
+			return 0, fmt.Errorf("runtime: remap of %s: %w", a.Name, err)
+		}
+	}
+	moved := 0
+	pairElems := map[[2]int]int{}
+	size := a.Dom.Size()
+	for off := 0; off < size; off++ {
+		old := a.ownerSet(off)
+		var cur []int
+		if newOwners != nil {
+			cur = []int{int(newOwners[off])}
+		} else {
+			cur = newRep[off]
+		}
+		anyNew := false
+		sender := old[0]
+		for _, p := range cur {
+			if !containsInt(old, p) {
+				anyNew = true
+				pairElems[[2]int{sender, p}]++
+			}
+		}
+		if anyNew {
+			moved++
+		}
+	}
+	if m != nil {
+		for pr, n := range pairElems {
+			m.Send(pr[0], pr[1], n)
+		}
+	}
+	a.owners = newOwners
+	a.repOwns = newRep
+	a.mapping = newMap
+	return moved, nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SeqArray is the sequential reference executor's array: values only,
+// no distribution.
+type SeqArray struct {
+	Dom  index.Domain
+	data []float64
+}
+
+// NewSeqArray allocates a zeroed sequential array.
+func NewSeqArray(dom index.Domain) *SeqArray {
+	return &SeqArray{Dom: dom, data: make([]float64, dom.Size())}
+}
+
+// Fill initializes every element from fn.
+func (a *SeqArray) Fill(fn func(t index.Tuple) float64) {
+	k := 0
+	a.Dom.ForEach(func(t index.Tuple) bool {
+		a.data[k] = fn(t)
+		k++
+		return true
+	})
+}
+
+// At reads the element at t.
+func (a *SeqArray) At(t index.Tuple) float64 {
+	off, ok := a.Dom.Offset(t)
+	if !ok {
+		panic(fmt.Sprintf("runtime: seq index %s out of domain %s", t, a.Dom))
+	}
+	return a.data[off]
+}
+
+// Data exposes the dense backing.
+func (a *SeqArray) Data() []float64 { return a.data }
+
+// SeqTerm is a shifted reference for the sequential executor.
+type SeqTerm struct {
+	Src   *SeqArray
+	Shift []int
+	Coeff float64
+}
+
+// SeqShiftAssign is the sequential reference semantics of
+// ShiftAssign, used to verify the distributed executor.
+func SeqShiftAssign(lhs *SeqArray, region index.Domain, terms []SeqTerm) error {
+	vals := make([]float64, region.Size())
+	offs := make([]int, region.Size())
+	ref := make(index.Tuple, lhs.Dom.Rank())
+	k := 0
+	var ferr error
+	region.ForEach(func(t index.Tuple) bool {
+		loff, ok := lhs.Dom.Offset(t)
+		if !ok {
+			ferr = fmt.Errorf("runtime: region index %s outside domain %s", t, lhs.Dom)
+			return false
+		}
+		offs[k] = loff
+		sum := 0.0
+		for _, tm := range terms {
+			for d := range t {
+				ref[d] = t[d] + tm.Shift[d]
+			}
+			roff, ok := tm.Src.Dom.Offset(ref)
+			if !ok {
+				ferr = fmt.Errorf("runtime: seq reference %s out of bounds", ref)
+				return false
+			}
+			sum += tm.Coeff * tm.Src.data[roff]
+		}
+		vals[k] = sum
+		k++
+		return true
+	})
+	if ferr != nil {
+		return ferr
+	}
+	for i := 0; i < k; i++ {
+		lhs.data[offs[i]] = vals[i]
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package runtime
+
+import (
+	"fmt"
+
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+)
+
+// Schedule is a precomputed communication schedule for a repeated
+// stencil statement: the overlap ("ghost region") exchange of
+// compilers for distributed-memory systems (the SUPERB / Vienna
+// Fortran Compilation System technique the paper's reference [13]
+// surveys). Building the schedule performs the per-element ownership
+// analysis once; each subsequent Execute replays the aggregated
+// messages and computes values without re-deriving communication
+// sets. For mappings that do not change between iterations this is
+// semantically identical to calling ShiftAssign each time — verified
+// by tests — but performs no per-iteration analysis.
+type Schedule struct {
+	lhs    *Array
+	region index.Domain
+	terms  []Term
+
+	// pairElems[(src,dst)] is the aggregated ghost traffic.
+	pairElems map[[2]int]int
+	// loads[p] is the per-iteration compute load of processor p.
+	loads map[int]int
+	// localRefs/remoteRefs replay the reference counters.
+	localRefs  int
+	remoteRefs int
+}
+
+// BuildSchedule analyzes the statement lhs(region) = Σ terms once and
+// returns its reusable communication schedule. The arrays' mappings
+// must not be remapped between executions (remapping invalidates the
+// schedule; rebuild after REDISTRIBUTE/REALIGN).
+func BuildSchedule(lhs *Array, region index.Domain, terms []Term) (*Schedule, error) {
+	if region.Rank() != lhs.Dom.Rank() {
+		return nil, fmt.Errorf("runtime: region rank %d does not match %s rank %d", region.Rank(), lhs.Name, lhs.Dom.Rank())
+	}
+	for _, tm := range terms {
+		if len(tm.Shift) != lhs.Dom.Rank() {
+			return nil, fmt.Errorf("runtime: term over %s has shift rank %d, want %d", tm.Src.Name, len(tm.Shift), lhs.Dom.Rank())
+		}
+	}
+	s := &Schedule{
+		lhs:       lhs,
+		region:    region,
+		terms:     terms,
+		pairElems: map[[2]int]int{},
+		loads:     map[int]int{},
+	}
+	ref := make(index.Tuple, lhs.Dom.Rank())
+	seen := map[commKey]bool{}
+	var ferr error
+	region.ForEach(func(t index.Tuple) bool {
+		loff, ok := lhs.Dom.Offset(t)
+		if !ok {
+			ferr = fmt.Errorf("runtime: region index %s outside %s domain %s", t, lhs.Name, lhs.Dom)
+			return false
+		}
+		writers := lhs.ownerSet(loff)
+		for _, tm := range terms {
+			for d := range t {
+				ref[d] = t[d] + tm.Shift[d]
+			}
+			roff, ok := tm.Src.Dom.Offset(ref)
+			if !ok {
+				ferr = fmt.Errorf("runtime: reference %s(%s) out of bounds in schedule for %s(%s)", tm.Src.Name, ref, lhs.Name, t)
+				return false
+			}
+			for _, w := range writers {
+				if tm.Src.ownedBy(roff, w) {
+					s.localRefs++
+					continue
+				}
+				s.remoteRefs++
+				key := commKey{src: tm.Src, off: roff, dst: w}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				sender := tm.Src.ownerSet(roff)[0]
+				s.pairElems[[2]int{sender, w}]++
+			}
+		}
+		for _, w := range writers {
+			s.loads[w] += len(terms)
+		}
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return s, nil
+}
+
+// GhostElements reports the total number of elements exchanged per
+// execution (the overlap-area size).
+func (s *Schedule) GhostElements() int {
+	total := 0
+	for _, n := range s.pairElems {
+		total += n
+	}
+	return total
+}
+
+// Messages reports the number of aggregated messages per execution.
+func (s *Schedule) Messages() int { return len(s.pairElems) }
+
+// Execute replays the exchange on the machine and computes the
+// statement's values (simultaneous-assignment semantics). A nil
+// machine computes values only.
+func (s *Schedule) Execute(m *machine.Machine) error {
+	if m != nil {
+		for pr, n := range s.pairElems {
+			m.Send(pr[0], pr[1], n)
+		}
+		m.RecordLocal(s.localRefs)
+		m.RecordRemote(s.remoteRefs)
+		for p, l := range s.loads {
+			m.AddLoad(p, l)
+		}
+	}
+	// Value computation, identical to ShiftAssign's.
+	vals := make([]float64, s.region.Size())
+	offs := make([]int, s.region.Size())
+	ref := make(index.Tuple, s.lhs.Dom.Rank())
+	k := 0
+	s.region.ForEach(func(t index.Tuple) bool {
+		loff, _ := s.lhs.Dom.Offset(t)
+		offs[k] = loff
+		sum := 0.0
+		for _, tm := range s.terms {
+			for d := range t {
+				ref[d] = t[d] + tm.Shift[d]
+			}
+			roff, _ := tm.Src.Dom.Offset(ref)
+			sum += tm.Coeff * tm.Src.data[roff]
+		}
+		vals[k] = sum
+		k++
+		return true
+	})
+	for i := 0; i < k; i++ {
+		s.lhs.data[offs[i]] = vals[i]
+	}
+	return nil
+}
+
+// ReduceOp selects a reduction operator.
+type ReduceOp int
+
+// The supported reduction operators.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+	ReduceMin
+)
+
+// Reduce computes a global reduction of the array under the
+// owner-computes rule: each owning processor reduces its local
+// elements (replicated elements are reduced by their first owner
+// only, so the result counts each element once), then the partial
+// results are combined along a binary tree — ⌈log2 NP⌉ rounds of one
+// single-element message per participating processor, the standard
+// distributed-memory reduction cost the machine records.
+func Reduce(m *machine.Machine, a *Array, op ReduceOp) (float64, error) {
+	np := 1
+	if m != nil {
+		np = m.NP
+	}
+	partial := make([]float64, np+1)
+	has := make([]bool, np+1)
+	size := a.Dom.Size()
+	acc := func(cur float64, ok bool, v float64) float64 {
+		if !ok {
+			return v
+		}
+		switch op {
+		case ReduceSum:
+			return cur + v
+		case ReduceMax:
+			if v > cur {
+				return v
+			}
+			return cur
+		case ReduceMin:
+			if v < cur {
+				return v
+			}
+			return cur
+		}
+		return cur
+	}
+	for off := 0; off < size; off++ {
+		p := a.ownerSet(off)[0]
+		if m == nil {
+			p = 1
+		}
+		partial[p] = acc(partial[p], has[p], a.data[off])
+		has[p] = true
+		if m != nil {
+			m.AddLoad(p, 1)
+		}
+	}
+	// Tree combine over processors holding partials.
+	var procs []int
+	for p := 1; p <= np; p++ {
+		if has[p] {
+			procs = append(procs, p)
+		}
+	}
+	if len(procs) == 0 {
+		return 0, fmt.Errorf("runtime: reduction over empty array %s", a.Name)
+	}
+	for len(procs) > 1 {
+		var next []int
+		for i := 0; i+1 < len(procs); i += 2 {
+			src, dst := procs[i+1], procs[i]
+			if m != nil {
+				m.Send(src, dst, 1)
+			}
+			partial[dst] = acc(partial[dst], true, partial[src])
+			next = append(next, dst)
+		}
+		if len(procs)%2 == 1 {
+			next = append(next, procs[len(procs)-1])
+		}
+		procs = next
+	}
+	return partial[procs[0]], nil
+}

@@ -1,0 +1,319 @@
+// Package template implements the HPF draft-0.2 TEMPLATE model that
+// the paper argues against (§8), as the executable comparison
+// baseline. A template is "like an array whose elements have no
+// content ... merely an abstract index space that can be distributed
+// and with which arrays may be aligned"; the draft semantics force
+// each template to be a *tagged* index domain (distinct definitions
+// are distinct even with equal domains). Templates are not first
+// class: they cannot be ALLOCATABLE and cannot be passed across
+// procedure boundaries — both restrictions are enforced here so the
+// paper's §8.2 criticisms are demonstrable (experiment E12).
+//
+// Unlike the paper's model (package core), the template model allows
+// alignment chains: an array may be aligned to another array that is
+// itself aligned to a template, so alignment trees can have height
+// greater than one. Mapping resolution composes the chain.
+package template
+
+import (
+	"errors"
+	"fmt"
+
+	"hpfnt/internal/align"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/expr"
+	"hpfnt/internal/index"
+	"hpfnt/internal/proc"
+)
+
+// Template is a tagged abstract index space.
+type Template struct {
+	Name string
+	Dom  index.Domain
+	// Tag distinguishes distinct template definitions with equal
+	// domains (§8: "each template created in a program execution must
+	// be interpreted as a tagged index domain").
+	Tag int
+
+	d *dist.Distribution
+}
+
+// Model is a program unit's data space under the HPF template model.
+type Model struct {
+	Sys *proc.System
+
+	templates map[string]*Template
+	arrays    map[string]*tnode
+	nextTag   int
+}
+
+type tnode struct {
+	name string
+	dom  index.Domain
+	// Exactly one of toTemplate/toArray is set for aligned arrays;
+	// both empty for directly distributed arrays.
+	toTemplate string
+	toArray    string
+	alpha      *align.Function
+	d          *dist.Distribution
+}
+
+// NewModel creates an empty template-model data space.
+func NewModel(sys *proc.System) *Model {
+	return &Model{Sys: sys, templates: map[string]*Template{}, arrays: map[string]*tnode{}}
+}
+
+// DeclareTemplate creates a template. The HPF draft requires the
+// shape to be a specification expression; deferred (allocatable)
+// shapes are rejected — see AllocatableTemplate.
+func (m *Model) DeclareTemplate(name string, dom index.Domain) (*Template, error) {
+	if _, dup := m.templates[name]; dup {
+		return nil, fmt.Errorf("template: template %s already declared", name)
+	}
+	if dom.Rank() == 0 || dom.Empty() {
+		return nil, fmt.Errorf("template: template %s requires a non-empty index domain", name)
+	}
+	m.nextTag++
+	t := &Template{Name: name, Dom: dom, Tag: m.nextTag}
+	m.templates[name] = t
+	return t, nil
+}
+
+// AllocatableTemplate always fails: "templates cannot be defined as
+// being ALLOCATABLE" (§8.2 problem 1). It exists so the limitation is
+// executable and testable.
+func (m *Model) AllocatableTemplate(name string, rank int) error {
+	return fmt.Errorf("template: template %s cannot be ALLOCATABLE: the shape of a template is fixed at entry to the program unit (HPF draft restriction, paper §8.2)", name)
+}
+
+// PassTemplate always fails: templates cannot be passed across
+// procedure boundaries (§8.2 problem 2).
+func (m *Model) PassTemplate(name, procedure string) error {
+	return fmt.Errorf("template: template %s cannot be passed to procedure %s: templates are not first-class objects (HPF draft restriction, paper §8.2)", name, procedure)
+}
+
+// HasTemplate reports whether a template of the given name exists.
+func (m *Model) HasTemplate(name string) bool {
+	_, ok := m.templates[name]
+	return ok
+}
+
+// TemplateDomain returns the index domain of a declared template.
+func (m *Model) TemplateDomain(name string) (index.Domain, error) {
+	t, ok := m.templates[name]
+	if !ok {
+		return index.Domain{}, fmt.Errorf("template: unknown template %s", name)
+	}
+	return t.Dom, nil
+}
+
+// DeclareArray declares a data array in the template model.
+func (m *Model) DeclareArray(name string, dom index.Domain) error {
+	if _, dup := m.arrays[name]; dup {
+		return fmt.Errorf("template: array %s already declared", name)
+	}
+	m.arrays[name] = &tnode{name: name, dom: dom}
+	return nil
+}
+
+// DistributeTemplate distributes a template onto a processor target.
+func (m *Model) DistributeTemplate(name string, formats []dist.Format, target proc.Target) error {
+	t, ok := m.templates[name]
+	if !ok {
+		return fmt.Errorf("template: unknown template %s", name)
+	}
+	d, err := dist.New(t.Dom, formats, target)
+	if err != nil {
+		return err
+	}
+	t.d = d
+	return nil
+}
+
+// DistributeArray distributes an array directly (permitted in HPF as
+// well).
+func (m *Model) DistributeArray(name string, formats []dist.Format, target proc.Target) error {
+	n, ok := m.arrays[name]
+	if !ok {
+		return fmt.Errorf("template: unknown array %s", name)
+	}
+	if n.toTemplate != "" || n.toArray != "" {
+		return fmt.Errorf("template: array %s is aligned and cannot be distributed directly", name)
+	}
+	d, err := dist.New(n.dom, formats, target)
+	if err != nil {
+		return err
+	}
+	n.d = d
+	return nil
+}
+
+func (m *Model) boundsEnv() expr.Env {
+	return expr.Env{Bounds: func(array string, dim int) (index.Triplet, error) {
+		if n, ok := m.arrays[array]; ok {
+			if dim < 1 || dim > n.dom.Rank() {
+				return index.Triplet{}, fmt.Errorf("template: dimension %d out of range for %s", dim, array)
+			}
+			return n.dom.Dims[dim-1], nil
+		}
+		if t, ok := m.templates[array]; ok {
+			if dim < 1 || dim > t.Dom.Rank() {
+				return index.Triplet{}, fmt.Errorf("template: dimension %d out of range for %s", dim, array)
+			}
+			return t.Dom.Dims[dim-1], nil
+		}
+		return index.Triplet{}, fmt.Errorf("template: unknown object %s", array)
+	}}
+}
+
+// AlignWithTemplate aligns an array with a template.
+func (m *Model) AlignWithTemplate(s align.Spec) error {
+	n, ok := m.arrays[s.Alignee]
+	if !ok {
+		return fmt.Errorf("template: unknown alignee %s", s.Alignee)
+	}
+	t, ok := m.templates[s.Base]
+	if !ok {
+		return fmt.Errorf("template: unknown template %s", s.Base)
+	}
+	if n.d != nil {
+		return fmt.Errorf("template: array %s already has a direct distribution", s.Alignee)
+	}
+	alpha, err := align.Normalize(s, n.dom, t.Dom, m.boundsEnv())
+	if err != nil {
+		return err
+	}
+	n.toTemplate = s.Base
+	n.toArray = ""
+	n.alpha = alpha
+	return nil
+}
+
+// AlignWithArray aligns an array with another array (chains are
+// permitted in the HPF model; cycles are rejected at resolution
+// time).
+func (m *Model) AlignWithArray(s align.Spec) error {
+	n, ok := m.arrays[s.Alignee]
+	if !ok {
+		return fmt.Errorf("template: unknown alignee %s", s.Alignee)
+	}
+	b, ok := m.arrays[s.Base]
+	if !ok {
+		return fmt.Errorf("template: unknown base array %s", s.Base)
+	}
+	if n.d != nil {
+		return fmt.Errorf("template: array %s already has a direct distribution", s.Alignee)
+	}
+	alpha, err := align.Normalize(s, n.dom, b.dom, m.boundsEnv())
+	if err != nil {
+		return err
+	}
+	n.toArray = s.Base
+	n.toTemplate = ""
+	n.alpha = alpha
+	return nil
+}
+
+// ChainDepth reports the alignment chain length from an array to its
+// ultimate distribution (template or direct), demonstrating that the
+// HPF model permits trees of height > 1.
+func (m *Model) ChainDepth(name string) (int, error) {
+	depth := 0
+	seen := map[string]bool{}
+	cur := name
+	for {
+		n, ok := m.arrays[cur]
+		if !ok {
+			return 0, fmt.Errorf("template: unknown array %s", cur)
+		}
+		if seen[cur] {
+			return 0, fmt.Errorf("template: alignment cycle through %s", cur)
+		}
+		seen[cur] = true
+		switch {
+		case n.toTemplate != "":
+			return depth + 1, nil
+		case n.toArray != "":
+			depth++
+			cur = n.toArray
+		default:
+			return depth, nil
+		}
+	}
+}
+
+// Owners resolves the owner set of an array element by composing the
+// alignment chain down to the distributed template (or direct
+// distribution).
+func (m *Model) Owners(name string, i index.Tuple) ([]int, error) {
+	n, ok := m.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("template: unknown array %s", name)
+	}
+	return m.owners(n, i, map[string]bool{})
+}
+
+func (m *Model) owners(n *tnode, i index.Tuple, seen map[string]bool) ([]int, error) {
+	if seen[n.name] {
+		return nil, fmt.Errorf("template: alignment cycle through %s", n.name)
+	}
+	seen[n.name] = true
+	switch {
+	case n.d != nil:
+		return n.d.Owners(i)
+	case n.toTemplate != "":
+		t := m.templates[n.toTemplate]
+		if t.d == nil {
+			return nil, fmt.Errorf("template: template %s has no distribution", t.Name)
+		}
+		return unionThroughAlpha(n.alpha, i, t.d.Owners)
+	case n.toArray != "":
+		next := m.arrays[n.toArray]
+		return unionThroughAlpha(n.alpha, i, func(j index.Tuple) ([]int, error) {
+			return m.owners(next, j, seen)
+		})
+	default:
+		return nil, fmt.Errorf("template: array %s has neither distribution nor alignment", n.name)
+	}
+}
+
+func unionThroughAlpha(alpha *align.Function, i index.Tuple, down func(index.Tuple) ([]int, error)) ([]int, error) {
+	img, err := alpha.Image(i)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range img {
+		os, err := down(j)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range os {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("template: empty owner set")
+	}
+	return out, nil
+}
+
+// Mapping adapts an array of the model to core's ElementMapping
+// shape: a Domain plus Owners function.
+type Mapping struct {
+	M    *Model
+	Name string
+}
+
+// Domain returns the array's index domain.
+func (tm Mapping) Domain() index.Domain { return tm.M.arrays[tm.Name].dom }
+
+// Owners resolves ownership through the model.
+func (tm Mapping) Owners(i index.Tuple) ([]int, error) { return tm.M.Owners(tm.Name, i) }
+
+// Describe names the mapping.
+func (tm Mapping) Describe() string { return "HPF-template mapping of " + tm.Name }

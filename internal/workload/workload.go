@@ -1,0 +1,233 @@
+// Package workload provides the workload generators used by the
+// experiments: the staggered-grid update of §8.1.1, a 5-point Jacobi
+// relaxation, irregular (triangular) per-row weights for the
+// load-balancing experiments, and an LU-style shrinking active set
+// for the cyclic-distribution experiment.
+package workload
+
+import (
+	"fmt"
+
+	"hpfnt/internal/core"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/runtime"
+)
+
+// StaggeredMappings holds element mappings for the three staggered
+// arrays of §8.1.1: U(0:N,1:N), V(1:N,0:N) and P(1:N,1:N).
+type StaggeredMappings struct {
+	U, V, P core.ElementMapping
+}
+
+// StaggeredDomains returns the §8.1.1 declarations
+// REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N).
+func StaggeredDomains(n int) (u, v, p index.Domain) {
+	u = index.Standard(0, n, 1, n)
+	v = index.Standard(1, n, 0, n)
+	p = index.Standard(1, n, 1, n)
+	return u, v, p
+}
+
+// StaggeredSweep executes the paper's statement
+//
+//	P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)
+//
+// once over distributed arrays built from the given mappings, on a
+// machine with np processors and the given cost model, and returns
+// the communication/load report. Each reference is a shifted read:
+// P(i,j) reads U(i-1,j), U(i,j), V(i,j-1) and V(i,j).
+func StaggeredSweep(n, np int, maps StaggeredMappings, cost machine.CostModel) (machine.Report, error) {
+	m, err := machine.New(np, cost)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	ua, err := runtime.NewArray("U", maps.U)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	va, err := runtime.NewArray("V", maps.V)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	pa, err := runtime.NewArray("P", maps.P)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	ua.Fill(func(t index.Tuple) float64 { return float64(t[0] + 2*t[1]) })
+	va.Fill(func(t index.Tuple) float64 { return float64(3*t[0] - t[1]) })
+	terms := []runtime.Term{
+		runtime.Ref(ua, 1, -1, 0),
+		runtime.Ref(ua, 1, 0, 0),
+		runtime.Ref(va, 1, 0, -1),
+		runtime.Ref(va, 1, 0, 0),
+	}
+	if err := runtime.ShiftAssign(m, pa, pa.Dom, terms); err != nil {
+		return machine.Report{}, err
+	}
+	return m.Stats(), nil
+}
+
+// StaggeredVerify runs the sweep both distributed and sequentially
+// and reports whether the values agree (the distributed executor must
+// not change program semantics regardless of mapping).
+func StaggeredVerify(n, np int, maps StaggeredMappings) (bool, error) {
+	udom, vdom, pdom := StaggeredDomains(n)
+	m, err := machine.New(np, machine.DefaultCost())
+	if err != nil {
+		return false, err
+	}
+	ua, err := runtime.NewArray("U", maps.U)
+	if err != nil {
+		return false, err
+	}
+	va, err := runtime.NewArray("V", maps.V)
+	if err != nil {
+		return false, err
+	}
+	pa, err := runtime.NewArray("P", maps.P)
+	if err != nil {
+		return false, err
+	}
+	fill1 := func(t index.Tuple) float64 { return float64(t[0]*7 + t[1]) }
+	fill2 := func(t index.Tuple) float64 { return float64(t[0] - 5*t[1]) }
+	ua.Fill(fill1)
+	va.Fill(fill2)
+	if err := runtime.ShiftAssign(m, pa, pa.Dom, []runtime.Term{
+		runtime.Ref(ua, 1, -1, 0), runtime.Ref(ua, 1, 0, 0),
+		runtime.Ref(va, 1, 0, -1), runtime.Ref(va, 1, 0, 0),
+	}); err != nil {
+		return false, err
+	}
+	us, vs, ps := runtime.NewSeqArray(udom), runtime.NewSeqArray(vdom), runtime.NewSeqArray(pdom)
+	us.Fill(fill1)
+	vs.Fill(fill2)
+	if err := runtime.SeqShiftAssign(ps, ps.Dom, []runtime.SeqTerm{
+		{Src: us, Shift: []int{-1, 0}, Coeff: 1}, {Src: us, Shift: []int{0, 0}, Coeff: 1},
+		{Src: vs, Shift: []int{0, -1}, Coeff: 1}, {Src: vs, Shift: []int{0, 0}, Coeff: 1},
+	}); err != nil {
+		return false, err
+	}
+	pd, sd := pa.Data(), ps.Data()
+	for i := range pd {
+		if pd[i] != sd[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// JacobiSweep runs one 5-point Jacobi relaxation
+// B(2:N-1,2:N-1) = 0.25*(A(1:N-2,:)+A(3:N,:)+A(:,1:N-2)+A(:,3:N))
+// over arrays with the given mappings and returns the report.
+func JacobiSweep(n, np int, a, b core.ElementMapping, cost machine.CostModel) (machine.Report, error) {
+	m, err := machine.New(np, cost)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	aa, err := runtime.NewArray("A", a)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	ba, err := runtime.NewArray("B", b)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	aa.Fill(func(t index.Tuple) float64 { return float64((t[0] * t[1]) % 97) })
+	interior := index.Standard(2, n-1, 2, n-1)
+	terms := []runtime.Term{
+		runtime.Ref(aa, 0.25, -1, 0),
+		runtime.Ref(aa, 0.25, 1, 0),
+		runtime.Ref(aa, 0.25, 0, -1),
+		runtime.Ref(aa, 0.25, 0, 1),
+	}
+	if err := runtime.ShiftAssign(m, ba, interior, terms); err != nil {
+		return machine.Report{}, err
+	}
+	return m.Stats(), nil
+}
+
+// TriangularWeights returns w(i) = i for i in 1..n — the canonical
+// irregular workload (e.g. a triangular loop nest) motivating
+// GENERAL_BLOCK.
+func TriangularWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	return w
+}
+
+// LUReport summarizes the LU-style experiment for one rank-1 format.
+type LUReport struct {
+	Format    string
+	MaxLoad   int64
+	TotalLoad int64
+	Imbalance float64
+}
+
+// LUSweep simulates the load of an LU-factorization-like computation
+// over an n×n matrix distributed by rows with the given rank-1
+// format over np processors: at step k, the owner of each active row
+// i in (k, n] performs n-k units of work. BLOCK distributions idle
+// the processors owning early rows as the active set shrinks; CYCLIC
+// keeps all processors busy (§4.1.3's motivation).
+func LUSweep(n, np int, f dist.Format) (LUReport, error) {
+	if err := f.Validate(n, np); err != nil {
+		return LUReport{}, err
+	}
+	load := make([]int64, np+1)
+	// Owners of each row are fixed across steps; precompute.
+	owner := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		owner[i] = f.Map(i, n, np)
+	}
+	// Per step, each active row costs (n-k) units on its owner. Count
+	// rows per owner in the suffix via suffix sums.
+	suffix := make([][]int64, np+1)
+	for p := 1; p <= np; p++ {
+		suffix[p] = make([]int64, n+2)
+	}
+	for i := n; i >= 1; i-- {
+		for p := 1; p <= np; p++ {
+			suffix[p][i] = suffix[p][i+1]
+		}
+		suffix[owner[i]][i]++
+	}
+	for k := 1; k < n; k++ {
+		cost := int64(n - k)
+		for p := 1; p <= np; p++ {
+			load[p] += suffix[p][k+1] * cost
+		}
+	}
+	var max, total int64
+	for p := 1; p <= np; p++ {
+		total += load[p]
+		if load[p] > max {
+			max = load[p]
+		}
+	}
+	imb := 0.0
+	if total > 0 {
+		imb = float64(max) / (float64(total) / float64(np))
+	}
+	return LUReport{Format: f.String(), MaxLoad: max, TotalLoad: total, Imbalance: imb}, nil
+}
+
+// RowSweepLoad computes, for a rank-1 row mapping and per-row weights
+// w, the per-processor load vector on a machine of np processors.
+func RowSweepLoad(m *machine.Machine, f dist.Format, w []float64, np int) error {
+	n := len(w)
+	if err := f.Validate(n, np); err != nil {
+		return err
+	}
+	for i := 1; i <= n; i++ {
+		p := f.Map(i, n, np)
+		if p < 1 || p > np {
+			return fmt.Errorf("workload: format mapped row %d to processor %d of %d", i, p, np)
+		}
+		m.AddLoad(p, int(w[i-1]))
+	}
+	return nil
+}
