@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench fuzz
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzFormatRoundTrip -fuzztime 30s ./internal/dist

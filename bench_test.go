@@ -1,7 +1,8 @@
 // Package main_bench holds the benchmark harness: one testing.B
-// bench per reproduction experiment (E1–E12, see DESIGN.md §4 and
-// EXPERIMENTS.md), each asserting its paper-claim checks on the first
-// iteration, plus micro-benchmarks of the mapping primitives.
+// bench per reproduction experiment (E1–E13, see the experiment index
+// in README.md and the per-experiment doc comments in internal/exper),
+// each asserting its paper-claim checks on the first iteration, plus
+// micro-benchmarks of the mapping primitives.
 //
 // Run with: go test -bench=. -benchmem
 package main_bench

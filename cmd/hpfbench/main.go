@@ -1,5 +1,5 @@
-// Command hpfbench runs the paper-reproduction experiments E1–E12
-// (see DESIGN.md for the per-experiment index) and prints, for each,
+// Command hpfbench runs the paper-reproduction experiments E1–E13
+// (see README.md for the per-experiment index) and prints, for each,
 // the measurement table and the pass/fail verdicts of the paper's
 // claims. Usage:
 //

@@ -1,0 +1,3 @@
+module hpfnt
+
+go 1.24

@@ -494,6 +494,9 @@ func (p *parser) format() (dist.Format, error) {
 			if _, err := p.expect(tokRParen); err != nil {
 				return nil, err
 			}
+			if k < 1 {
+				return nil, fmt.Errorf("directive: CYCLIC argument must be positive, got %d", k)
+			}
 			return dist.NewCyclic(k), nil
 		}
 		return dist.NewCyclic(1), nil

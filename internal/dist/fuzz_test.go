@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"testing"
+)
+
+// FuzzFormatRoundTrip fuzzes the §4.1 distribution-function contract
+// over every format family: owner(global) is total into 1..np, and
+// (Map, Local) ↔ Global is a bijection between global indices and
+// per-position local index spaces. The raw bytes seed the format
+// family, the dimension parameters and (for GENERAL_BLOCK / INDIRECT)
+// the bound or owner vectors.
+func FuzzFormatRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(16), uint8(4), uint8(3), []byte{})
+	f.Add(uint8(1), uint8(65), uint8(4), uint8(1), []byte{})
+	f.Add(uint8(2), uint8(17), uint8(3), uint8(2), []byte{})
+	f.Add(uint8(3), uint8(16), uint8(4), uint8(1), []byte{4, 6, 14})
+	f.Add(uint8(4), uint8(12), uint8(3), uint8(1), []byte{2, 1, 3, 1, 2, 3, 3, 1, 2, 2, 1, 3})
+	f.Add(uint8(2), uint8(100), uint8(5), uint8(64), []byte{})
+	f.Add(uint8(3), uint8(12), uint8(4), uint8(1), []byte{0, 5, 5})
+
+	f.Fuzz(func(t *testing.T, family, nn, pp, kk uint8, raw []byte) {
+		n := int(nn)%128 + 1
+		np := int(pp)%16 + 1
+		var fm Format
+		switch family % 5 {
+		case 0:
+			fm = Block{}
+		case 1:
+			fm = BlockVienna{}
+		case 2:
+			fm = Cyclic{K: int(kk)%8 + 1}
+		case 3:
+			// Build nondecreasing bounds within [0, n] from the raw
+			// bytes by accumulating capped increments.
+			bounds := make([]int, np-1)
+			cur := 0
+			for i := range bounds {
+				inc := 0
+				if i < len(raw) {
+					inc = int(raw[i]) % (n/np + 2)
+				}
+				cur += inc
+				if cur > n {
+					cur = n
+				}
+				bounds[i] = cur
+			}
+			fm = GeneralBlock{Bounds: bounds}
+		case 4:
+			owner := make([]int, n)
+			for i := range owner {
+				b := byte(i)
+				if i < len(raw) {
+					b = raw[i]
+				}
+				owner[i] = int(b)%np + 1
+			}
+			var err error
+			fm, err = NewIndirect(owner)
+			if err != nil {
+				t.Fatalf("NewIndirect over valid entries: %v", err)
+			}
+		}
+		if err := fm.Validate(n, np); err != nil {
+			t.Fatalf("%s: Validate(%d,%d): %v", fm, n, np, err)
+		}
+
+		// Totality: every global index has exactly one owner in range,
+		// and (owner, local) → global inverts.
+		counts := make([]int, np+1)
+		for i := 1; i <= n; i++ {
+			p := fm.Map(i, n, np)
+			if p < 1 || p > np {
+				t.Fatalf("%s: Map(%d,%d,%d) = %d out of range", fm, i, n, np, p)
+			}
+			counts[p]++
+			l := fm.Local(i, n, np)
+			if l < 1 || l > n {
+				t.Fatalf("%s: Local(%d) = %d out of range", fm, i, l)
+			}
+			if g := fm.Global(p, l, n, np); g != i {
+				t.Fatalf("%s: Global(Map(%d),Local(%d)) = %d", fm, i, i, g)
+			}
+		}
+		// Bijection: each position's locals 1..count map to distinct
+		// owned globals; past-the-end locals return 0.
+		seen := make([]bool, n+1)
+		for p := 1; p <= np; p++ {
+			for l := 1; l <= counts[p]; l++ {
+				g := fm.Global(p, l, n, np)
+				if g < 1 || g > n || seen[g] {
+					t.Fatalf("%s: Global(%d,%d) = %d duplicates or escapes", fm, p, l, g)
+				}
+				seen[g] = true
+				if fm.Map(g, n, np) != p || fm.Local(g, n, np) != l {
+					t.Fatalf("%s: Global(%d,%d) = %d does not invert", fm, p, l, g)
+				}
+			}
+			if g := fm.Global(p, counts[p]+1, n, np); g != 0 {
+				t.Fatalf("%s: Global past count = %d, want 0", fm, g)
+			}
+			// OwnedRanges agrees with Map.
+			covered := 0
+			for _, r := range fm.OwnedRanges(p, n, np) {
+				for i := r.Low; i <= r.High; i++ {
+					if fm.Map(i, n, np) != p {
+						t.Fatalf("%s: range of %d contains foreign index %d", fm, p, i)
+					}
+					covered++
+				}
+			}
+			if covered != counts[p] {
+				t.Fatalf("%s: ranges of %d cover %d, Map assigns %d", fm, p, covered, counts[p])
+			}
+		}
+		for i := 1; i <= n; i++ {
+			if !seen[i] {
+				t.Fatalf("%s: global %d unreachable from (owner, local)", fm, i)
+			}
+		}
+	})
+}

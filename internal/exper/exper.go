@@ -1,5 +1,5 @@
-// Package exper implements the reproduction experiments E1–E12
-// catalogued in DESIGN.md: one per worked example or quantitative
+// Package exper implements the reproduction experiments E1–E13
+// catalogued in README.md: one per worked example or quantitative
 // claim of the paper (the paper is a language-design paper and has no
 // numbered tables; each experiment reproduces a specific §-referenced
 // claim). Each experiment returns a Result with a preformatted table
