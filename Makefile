@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench fuzz
+.PHONY: check fmt vet build test race bench fuzz
 
 check: fmt vet build test
 
@@ -16,6 +16,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

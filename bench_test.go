@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"hpfnt/internal/align"
+	"hpfnt/internal/core"
 	"hpfnt/internal/dist"
 	"hpfnt/internal/exper"
 	"hpfnt/internal/expr"
@@ -115,7 +116,7 @@ func jacobiSetup(b *testing.B) (*runtime.Array, *runtime.Array, index.Domain, []
 	if err != nil {
 		b.Fatal(err)
 	}
-	a, err := runtime.NewArray("A", distMapping{d})
+	a, err := runtime.NewArray("A", core.DistMapping{D: d})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -158,6 +159,61 @@ func BenchmarkAblationScheduleReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Schedule-build micro-benchmarks: the run-based ownership
+// analysis against region size and format family. allocs/op is the
+// headline number — the analysis is O(runs + ghost boundary), not
+// O(region volume). ---
+
+func scheduleBuildSetup(b *testing.B, n int, f dist.Format) (*runtime.Array, index.Domain, []runtime.Term) {
+	b.Helper()
+	sys, err := proc.NewSystem(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := sys.DeclareArray("P", index.Standard(1, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dom := index.Standard(1, n, 1, n)
+	d, err := dist.New(dom, []dist.Format{f, dist.Collapsed{}}, proc.Whole(arr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := runtime.NewArray("A", core.DistMapping{D: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	interior := index.Standard(2, n-1, 2, n-1)
+	terms := []runtime.Term{
+		runtime.Ref(a, 0.25, -1, 0), runtime.Ref(a, 0.25, 1, 0),
+		runtime.Ref(a, 0.25, 0, -1), runtime.Ref(a, 0.25, 0, 1),
+	}
+	return a, interior, terms
+}
+
+func benchScheduleBuild(b *testing.B, n int, f dist.Format) {
+	lhs, interior, terms := scheduleBuildSetup(b, n, f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runtime.BuildSchedule(lhs, interior, terms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleBuildBlockSmall(b *testing.B) { benchScheduleBuild(b, 32, dist.Block{}) }
+
+func BenchmarkScheduleBuildBlockLarge(b *testing.B) { benchScheduleBuild(b, 128, dist.Block{}) }
+
+func BenchmarkScheduleBuildCyclicSmall(b *testing.B) { benchScheduleBuild(b, 32, dist.Cyclic{K: 4}) }
+
+func BenchmarkScheduleBuildCyclicLarge(b *testing.B) { benchScheduleBuild(b, 128, dist.Cyclic{K: 4}) }
+
+func BenchmarkScheduleBuildGeneralBlockLarge(b *testing.B) {
+	benchScheduleBuild(b, 128, dist.GeneralBlock{Bounds: []int{10, 26, 42, 64, 90, 102, 116}})
 }
 
 // --- Micro-benchmarks of the mapping primitives ---
@@ -259,7 +315,7 @@ func BenchmarkJacobiSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return distMapping{d}
+		return core.DistMapping{D: d}
 	}
 	am, bm := mk(), mk()
 	b.ResetTimer()
@@ -269,14 +325,6 @@ func BenchmarkJacobiSweep(b *testing.B) {
 		}
 	}
 }
-
-// distMapping is a local adapter matching core.ElementMapping without
-// importing core (bench package hygiene).
-type distMapping struct{ d *dist.Distribution }
-
-func (m distMapping) Domain() index.Domain                { return m.d.Array }
-func (m distMapping) Owners(t index.Tuple) ([]int, error) { return m.d.Owners(t) }
-func (m distMapping) Describe() string                    { return m.d.String() }
 
 func BenchmarkLUSweepCyclic(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -3,44 +3,99 @@
 // the measurement table and the pass/fail verdicts of the paper's
 // claims. Usage:
 //
-//	hpfbench            # run all experiments
-//	hpfbench E2 E4      # run selected experiments
-//	hpfbench -list      # list experiment ids and titles
+//	hpfbench                       # run all experiments
+//	hpfbench E2 E4                 # run selected experiments
+//	hpfbench -list                 # list experiment ids and titles
+//	hpfbench -cpuprofile cpu.out   # write a pprof CPU profile
+//	hpfbench -memprofile mem.out   # write a pprof heap profile
+//
+// The profiles cover the experiment runs only, so hot-path
+// regressions in the mapping and schedule kernels can be diagnosed
+// with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hpfnt/internal/exper"
 )
 
-var list = flag.Bool("list", false, "list experiments without running them")
+var (
+	list       = flag.Bool("list", false, "list experiments without running them")
+	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+)
 
 func main() {
+	// The profile writers run in deferred calls, so the exit code is
+	// decided inside run and applied only after they complete.
+	os.Exit(run())
+}
+
+func run() int {
 	flag.Parse()
-	results, err := exper.All()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpfbench: %v\n", err)
-		os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hpfbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hpfbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hpfbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 	if *list {
-		for _, r := range results {
-			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		for _, e := range exper.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
+	// Select before running (and before profiling starts mattering):
+	// only the named experiments execute, so -cpuprofile/-memprofile
+	// cover exactly the chosen hot paths.
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
 	}
+	sel := map[string]bool{}
+	for _, e := range exper.Registry() {
+		if want[strings.ToUpper(e.ID)] {
+			sel[e.ID] = true
+		}
+	}
+	if len(sel) != len(want) {
+		fmt.Fprintf(os.Stderr, "hpfbench: unknown experiment id among %v (see -list)\n", flag.Args())
+		return 1
+	}
+	results, err := exper.Run(sel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpfbench: %v\n", err)
+		return 1
+	}
 	failed := 0
 	for _, r := range results {
-		if len(want) > 0 && !want[r.ID] {
-			continue
-		}
 		fmt.Println(r.Render())
 		if !r.Passed() {
 			failed++
@@ -48,6 +103,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "hpfbench: %d experiment(s) had failing checks\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

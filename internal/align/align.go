@@ -150,8 +150,9 @@ type Function struct {
 
 	spec  Spec
 	maps  []baseMap
-	env   expr.Env // bounds resolver captured at normalization
-	names []string // dummy name per alignee dimension
+	env   expr.Env   // bounds resolver captured at normalization
+	names []string   // dummy name per alignee dimension
+	aff   *AffineMap // affine interval form, nil outside the subset
 }
 
 // Identity returns the trivial alignment of a domain to itself
@@ -277,14 +278,16 @@ func Normalize(s Spec, aligneeDom, baseDom index.Domain, env expr.Env) (*Functio
 		}
 	}
 
-	return &Function{
+	f := &Function{
 		Alignee: aligneeDom,
 		Base:    baseDom,
 		spec:    s,
 		maps:    maps,
 		env:     expr.Env{Bounds: env.Bounds},
 		names:   names,
-	}, nil
+	}
+	f.aff = computeAffine(f)
+	return f, nil
 }
 
 // Spec returns the originating directive spec.

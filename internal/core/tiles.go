@@ -1,0 +1,355 @@
+// Run-based bulk ownership: the rank-N analogue of the per-dimension
+// run kernel in package dist. A single-owner mapping partitions any
+// rectangular region into owner tiles (dist.Tile); direct
+// distributions compose per-dimension format runs, alignments
+// transport base tiles through the affine interval form of α, and
+// inherited section mappings translate through their (stride-1)
+// triplets. Mappings outside those closed forms — replicating
+// alignments aside, which have no single-owner decomposition at all —
+// fall back to per-element enumeration with run coalescing, so
+// OwnerTiles is total on single-owner mappings and the per-element
+// Owners API remains the differential-testing oracle.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+)
+
+// Tile is a rectangular single-owner sub-domain (see dist.Tile).
+type Tile = dist.Tile
+
+// ErrNoBulk reports that a mapping lies outside the closed-form run
+// subset (a MAX/MIN-clamped alignment, a strided section or region),
+// so no bulk tile decomposition exists and callers must choose
+// between per-element enumeration (OwnerTiles does this) and their
+// own element-wise path (the runtime's grid-backed analysis).
+var ErrNoBulk = errors.New("core: mapping has no bulk tile decomposition")
+
+// TileMapper is implemented by element mappings that can enumerate
+// ownership as rectangular single-owner tiles in bulk, without
+// visiting individual elements.
+type TileMapper interface {
+	// AppendOwnerTiles appends tiles that exactly partition region
+	// (a standard sub-rectangle of the mapping's domain), each owned
+	// by a single abstract processor. It returns dist.ErrMultiOwner
+	// when some element has several owners, and ErrNoBulk when the
+	// mapping (or a mapping it composes over) admits no closed-form
+	// decomposition — it never falls back to element enumeration
+	// itself.
+	AppendOwnerTiles(dst []Tile, region index.Domain) ([]Tile, error)
+}
+
+// OwnerAppender is implemented by element mappings that can report
+// owner sets by appending to a caller-provided slice, avoiding the
+// per-call allocation of Owners.
+type OwnerAppender interface {
+	AppendOwners(dst []int, i index.Tuple) ([]int, error)
+}
+
+// AppendOwners appends the owner set of element i to dst, using the
+// mapping's allocation-free path when available.
+func AppendOwners(m ElementMapping, dst []int, i index.Tuple) ([]int, error) {
+	if oa, ok := m.(OwnerAppender); ok {
+		return oa.AppendOwners(dst, i)
+	}
+	os, err := m.Owners(i)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, os...), nil
+}
+
+// OwnerTiles returns single-owner tiles exactly partitioning region.
+// It is AppendOwnerTilesOf into a fresh slice.
+func OwnerTiles(m ElementMapping, region index.Domain) ([]Tile, error) {
+	return AppendOwnerTilesOf(nil, m, region)
+}
+
+// AppendOwnerTilesOf appends single-owner tiles partitioning region:
+// the mapping's bulk decomposition when it has one, a per-element
+// coalescing walk otherwise. The only failure mode besides an invalid
+// region is dist.ErrMultiOwner (replicated elements have no
+// single-owner tiling; use ReplicatedGrid).
+func AppendOwnerTilesOf(dst []Tile, m ElementMapping, region index.Domain) ([]Tile, error) {
+	tiles, err := AppendBulkOwnerTiles(dst, m, region)
+	if err == nil || !errors.Is(err, ErrNoBulk) {
+		return tiles, err
+	}
+	return appendEnumTiles(dst, m, region)
+}
+
+// AppendBulkOwnerTiles appends the mapping's closed-form tile
+// decomposition, or fails with ErrNoBulk when none exists at any
+// composition layer. Unlike AppendOwnerTilesOf it never enumerates
+// elements, so callers holding a cheaper element-wise alternative
+// (such as the runtime's materialized owner grids) can decline
+// without paying an O(region) walk first.
+func AppendBulkOwnerTiles(dst []Tile, m ElementMapping, region index.Domain) ([]Tile, error) {
+	if tm, ok := m.(TileMapper); ok {
+		return tm.AppendOwnerTiles(dst, region)
+	}
+	return nil, ErrNoBulk
+}
+
+// TileEstimator is implemented by mappings that can bound their bulk
+// tile count over a region without materializing the tiles.
+type TileEstimator interface {
+	// EstimateOwnerTiles returns an upper bound on the tile count of
+	// AppendOwnerTiles over region, in time independent of both the
+	// region volume and the tile count. ok = false when no cheap
+	// bound exists (the bulk path would decline anyway).
+	EstimateOwnerTiles(region index.Domain) (int, bool)
+}
+
+// EstimateBulkTiles bounds the bulk tile count of a mapping over
+// region, or ok = false when the mapping offers no estimate (which
+// implies the bulk decomposition would decline or be data-dependent
+// — treat it as "don't rely on interval analysis paying off").
+func EstimateBulkTiles(m ElementMapping, region index.Domain) (int, bool) {
+	if te, ok := m.(TileEstimator); ok {
+		return te.EstimateOwnerTiles(region)
+	}
+	return 0, false
+}
+
+// appendEnumTiles is the generic fallback: enumerate region in
+// column-major order and coalesce maximal same-owner runs along the
+// first dimension. O(elements), but allocation-free per element.
+func appendEnumTiles(dst []Tile, m ElementMapping, region index.Domain) ([]Tile, error) {
+	if region.Rank() == 0 {
+		os, err := m.Owners(index.Tuple{})
+		if err != nil {
+			return nil, err
+		}
+		if len(os) != 1 {
+			return nil, dist.ErrMultiOwner
+		}
+		return append(dst, Tile{Region: region, Proc: os[0]}), nil
+	}
+	var scratch []int
+	var cur Tile
+	have := false
+	var ferr error
+	stride0 := region.Dims[0].Stride
+	region.ForEach(func(t index.Tuple) bool {
+		scratch = scratch[:0]
+		s, err := AppendOwners(m, scratch, t)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		scratch = s
+		if len(scratch) != 1 {
+			ferr = fmt.Errorf("core: element %s has %d owners: %w", t, len(scratch), dist.ErrMultiOwner)
+			return false
+		}
+		p := scratch[0]
+		if have && p == cur.Proc && cur.Region.Dims[0].High+stride0 == t[0] && tailMatches(cur.Region, t) {
+			cur.Region.Dims[0].High = t[0]
+			return true
+		}
+		if have {
+			dst = append(dst, cur)
+		}
+		dims := make([]index.Triplet, len(t))
+		dims[0] = index.Triplet{Low: t[0], High: t[0], Stride: stride0}
+		for d := 1; d < len(t); d++ {
+			dims[d] = index.Unit(t[d], t[d])
+		}
+		cur = Tile{Region: index.Domain{Dims: dims}, Proc: p}
+		have = true
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if have {
+		dst = append(dst, cur)
+	}
+	return dst, nil
+}
+
+// tailMatches reports whether t agrees with the tile's single-point
+// trailing dimensions (1..rank-1).
+func tailMatches(region index.Domain, t index.Tuple) bool {
+	for d := 1; d < len(t); d++ {
+		if region.Dims[d].Low != t[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendOwnerTiles delegates to the distribution's run composition.
+func (m DistMapping) AppendOwnerTiles(dst []Tile, region index.Domain) ([]Tile, error) {
+	if !region.IsStandard() {
+		return nil, ErrNoBulk
+	}
+	return m.D.AppendOwnerTiles(dst, region)
+}
+
+// AppendOwners delegates to the distribution's allocation-free path.
+func (m DistMapping) AppendOwners(dst []int, i index.Tuple) ([]int, error) {
+	return m.D.AppendOwners(dst, i)
+}
+
+// EstimateOwnerTiles delegates to the distribution's closed-form run
+// counting.
+func (m DistMapping) EstimateOwnerTiles(region index.Domain) (int, bool) {
+	return m.D.OwnerTileEstimate(region)
+}
+
+// AppendOwnerTiles transports base tiles through the affine interval
+// form of α: the region's image is one base rectangle, the base
+// mapping tiles it, and each base tile pulls back to the alignee
+// indices landing in it. Non-affine or clamped alignments decline
+// with ErrNoBulk; replicating alignments have no single-owner tiling
+// and return dist.ErrMultiOwner.
+func (c *Constructed) AppendOwnerTiles(dst []Tile, region index.Domain) ([]Tile, error) {
+	if c.Alpha.Replicates() {
+		return nil, dist.ErrMultiOwner
+	}
+	am, ok := c.Alpha.Affine()
+	if !ok || !region.IsStandard() {
+		return nil, ErrNoBulk
+	}
+	if region.Empty() && region.Rank() > 0 {
+		return dst, nil
+	}
+	baseRegion, ok := am.ImageRegion(region)
+	if !ok {
+		// The §5.1 clamp rule would bend the map; stay exact.
+		return nil, ErrNoBulk
+	}
+	baseTiles, err := AppendBulkOwnerTiles(nil, c.BaseMap, baseRegion)
+	if err != nil {
+		return nil, err
+	}
+	for _, bt := range baseTiles {
+		if sub, ok := am.Preimage(bt.Region, region); ok {
+			dst = append(dst, Tile{Region: sub, Proc: bt.Proc})
+		}
+	}
+	return dst, nil
+}
+
+// EstimateOwnerTiles bounds the tile count through the affine
+// interval form: each base tile pulls back to at most one alignee
+// tile, so the base's estimate over the image region bounds ours.
+func (c *Constructed) EstimateOwnerTiles(region index.Domain) (int, bool) {
+	am, ok := c.Alpha.Affine()
+	if !ok || !region.IsStandard() {
+		return 0, false
+	}
+	if region.Empty() && region.Rank() > 0 {
+		return 0, true
+	}
+	baseRegion, ok := am.ImageRegion(region)
+	if !ok {
+		return 0, false
+	}
+	return EstimateBulkTiles(c.BaseMap, baseRegion)
+}
+
+// AppendOwners computes the owner union over α(i) with linear
+// deduplication into dst, avoiding the per-call set allocation of
+// Owners.
+func (c *Constructed) AppendOwners(dst []int, i index.Tuple) ([]int, error) {
+	img, err := c.Alpha.Image(i)
+	if err != nil {
+		return nil, err
+	}
+	start := len(dst)
+	for _, j := range img {
+		pre := len(dst)
+		dst, err = AppendOwners(c.BaseMap, dst, j)
+		if err != nil {
+			return nil, fmt.Errorf("core: CONSTRUCT: base owners of %s: %w", j, err)
+		}
+		out := pre
+		for k := pre; k < len(dst); k++ {
+			v := dst[k]
+			dup := false
+			for x := start; x < out; x++ {
+				if dst[x] == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst[out] = v
+				out++
+			}
+		}
+		dst = dst[:out]
+	}
+	if len(dst) == start {
+		return nil, fmt.Errorf("core: CONSTRUCT produced empty owner set for %s", i)
+	}
+	return dst, nil
+}
+
+// AppendOwnerTiles translates the dummy region through the section
+// triplets — affine per dimension — tiles the actual array's
+// sub-rectangle, and maps each tile back to dummy coordinates.
+// Sections with non-unit strides decline with ErrNoBulk.
+func (s *SectionMapping) AppendOwnerTiles(dst []Tile, region index.Domain) ([]Tile, error) {
+	if !region.IsStandard() || !s.Section.IsStandard() {
+		return nil, ErrNoBulk
+	}
+	if region.Empty() && region.Rank() > 0 {
+		return dst, nil
+	}
+	dims := make([]index.Triplet, region.Rank())
+	for d, tr := range region.Dims {
+		base := s.Section.Dims[d]
+		dims[d] = index.Unit(base.At(tr.Low-1), base.At(tr.High-1))
+	}
+	actTiles, err := AppendBulkOwnerTiles(nil, s.Actual, index.Domain{Dims: dims})
+	if err != nil {
+		return nil, err
+	}
+	for _, at := range actTiles {
+		sub := make([]index.Triplet, region.Rank())
+		for d, tr := range at.Region.Dims {
+			base := s.Section.Dims[d]
+			sub[d] = index.Unit(tr.Low-base.Low+1, tr.High-base.Low+1)
+		}
+		dst = append(dst, Tile{Region: index.Domain{Dims: sub}, Proc: at.Proc})
+	}
+	return dst, nil
+}
+
+// EstimateOwnerTiles bounds the tile count through the section's
+// triplet translation: actual tiles map back one-to-one.
+func (s *SectionMapping) EstimateOwnerTiles(region index.Domain) (int, bool) {
+	if !region.IsStandard() || !s.Section.IsStandard() {
+		return 0, false
+	}
+	if region.Empty() && region.Rank() > 0 {
+		return 0, true
+	}
+	dims := make([]index.Triplet, region.Rank())
+	for d, tr := range region.Dims {
+		base := s.Section.Dims[d]
+		dims[d] = index.Unit(base.At(tr.Low-1), base.At(tr.High-1))
+	}
+	return EstimateBulkTiles(s.Actual, index.Domain{Dims: dims})
+}
+
+// AppendOwners translates the dummy index through the section
+// triplets and delegates to the actual's allocation-free path.
+func (s *SectionMapping) AppendOwners(dst []int, i index.Tuple) ([]int, error) {
+	if !s.Dummy.Contains(i) {
+		return nil, fmt.Errorf("core: %s not in dummy domain %s", i, s.Dummy)
+	}
+	at := make(index.Tuple, len(i))
+	for d, v := range i {
+		at[d] = s.Section.Dims[d].At(v - 1)
+	}
+	return AppendOwners(s.Actual, dst, at)
+}

@@ -107,6 +107,18 @@ type Format interface {
 	// OwnedRanges lists the maximal runs of global indices owned by
 	// position p, in increasing order.
 	OwnedRanges(p, n, np int) []Range
+	// AppendRuns appends the ownership runs covering the interval
+	// [lo, hi] of 1..n to dst, in increasing index order: consecutive
+	// maximal sub-intervals each owned by a single position. The runs
+	// partition [lo, hi] exactly; an empty interval (lo > hi) appends
+	// nothing. Closed-form formats produce O(runs) work independent of
+	// hi-lo; INDIRECT degrades to a per-element walk of the interval.
+	AppendRuns(dst []Run, lo, hi, n, np int) []Run
+	// RunCountEstimate bounds (from above) the number of runs
+	// AppendRuns would produce over [lo, hi], in O(1) — without
+	// materializing them — so callers can decide whether interval
+	// analysis will pay off before spending the allocations.
+	RunCountEstimate(lo, hi, n, np int) int
 	// String renders the format in directive syntax.
 	String() string
 }
@@ -477,6 +489,9 @@ type indirect struct {
 	// runs[p] are the maximal contiguous runs owned by p+1.
 	runs map[int][]Range
 	max  int
+	// totalRuns counts the maximal runs over the whole vector, an
+	// upper bound for any subinterval's run count.
+	totalRuns int
 }
 
 // NewIndirect builds an INDIRECT format from a 1-based owner vector
@@ -499,6 +514,9 @@ func NewIndirect(owner []int) (Format, error) {
 		}
 		if p > f.max {
 			f.max = p
+		}
+		if i == 0 || p != f.owner[i-1] {
+			f.totalRuns++
 		}
 		f.perOwner[p] = append(f.perOwner[p], i+1)
 		f.local[i] = len(f.perOwner[p])

@@ -119,5 +119,38 @@ func FuzzFormatRoundTrip(f *testing.F) {
 				t.Fatalf("%s: global %d unreachable from (owner, local)", fm, i)
 			}
 		}
+
+		// Run-based enumeration is element-for-element identical to
+		// Map over arbitrary subintervals: the runs partition [lo, hi]
+		// contiguously in order and carry the per-element owner.
+		lo := int(kk)%n + 1
+		hi := lo + int(nn)%(n-lo+1)
+		for _, iv := range [][2]int{{1, n}, {lo, hi}, {lo, lo}, {n, n}, {hi, lo - 1}} {
+			runs := fm.AppendRuns(nil, iv[0], iv[1], n, np)
+			next := iv[0]
+			for _, r := range runs {
+				if r.Lo != next || r.Hi < r.Lo || r.Hi > iv[1] {
+					t.Fatalf("%s: runs of [%d,%d] not a partition: %+v", fm, iv[0], iv[1], runs)
+				}
+				for i := r.Lo; i <= r.Hi; i++ {
+					if p := fm.Map(i, n, np); p != r.Proc {
+						t.Fatalf("%s: run %+v claims %d, Map(%d) = %d", fm, r, r.Proc, i, p)
+					}
+				}
+				next = r.Hi + 1
+			}
+			if want := iv[1] + 1; iv[0] <= iv[1] && next != want {
+				t.Fatalf("%s: runs of [%d,%d] stop at %d", fm, iv[0], iv[1], next-1)
+			}
+			if iv[0] > iv[1] && len(runs) != 0 {
+				t.Fatalf("%s: empty interval produced runs %+v", fm, runs)
+			}
+			// Runs must be maximal: adjacent runs differ in owner.
+			for k := 1; k < len(runs); k++ {
+				if runs[k].Proc == runs[k-1].Proc {
+					t.Fatalf("%s: runs %+v and %+v not maximal", fm, runs[k-1], runs[k])
+				}
+			}
+		}
 	})
 }

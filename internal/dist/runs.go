@@ -1,0 +1,358 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"hpfnt/internal/index"
+)
+
+// This file is the run-length ownership kernel. Ownership of any
+// interval of global indices under the §4.1 formats is
+// piecewise-constant with few pieces — at most np runs for BLOCK, one
+// run per CYCLIC(k) segment, at most b runs for GENERAL_BLOCK — so
+// local index sets and communication sets can be computed over O(runs)
+// closed-form intervals instead of O(n) per-element owner lookups.
+// This is the compile-time analyzability the paper claims for its
+// distribution formats, made executable: every consumer that used to
+// enumerate Owners element-by-element (OwnerGrid, BuildSchedule, the
+// workload sweeps) composes these runs instead, and the per-element
+// API remains as the differential-testing oracle.
+
+// Run is a maximal interval [Lo, Hi] of 1-based normalized global
+// indices owned by a single target-dimension position Proc.
+type Run struct {
+	Lo, Hi int
+	Proc   int
+}
+
+// Count reports the number of indices in the run.
+func (r Run) Count() int { return r.Hi - r.Lo + 1 }
+
+// Runs lists the ownership runs of f over the interval [lo, hi] of
+// 1..n. It is AppendRuns into a fresh slice.
+func Runs(f Format, lo, hi, n, np int) []Run {
+	return f.AppendRuns(nil, lo, hi, n, np)
+}
+
+// blockRuns is the shared closed form for the two BLOCK variants:
+// owner positions are nondecreasing over the interval, and each
+// position's block is a single interval delimited by start(p); p0 is
+// the owner of lo.
+func blockRuns(dst []Run, lo, hi, np, p0 int, start func(int) int) []Run {
+	if lo > hi {
+		return dst
+	}
+	for p := p0; ; p++ {
+		rhi := hi
+		if p < np {
+			if next := start(p+1) - 1; next < rhi {
+				rhi = next
+			}
+		}
+		dst = append(dst, Run{Lo: lo, Hi: rhi, Proc: p})
+		if rhi >= hi {
+			return dst
+		}
+		lo = rhi + 1
+	}
+}
+
+// AppendRuns appends the ≤np runs of [lo, hi]: position p owns the
+// single interval [(p-1)q+1, pq] with q = ⌈n/np⌉.
+func (b Block) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
+	if lo > hi {
+		return dst
+	}
+	q := (n + np - 1) / np
+	return blockRuns(dst, lo, hi, np, b.Map(lo, n, np),
+		func(p int) int { return (p-1)*q + 1 })
+}
+
+// AppendRuns appends the ≤np balanced-block runs of [lo, hi].
+func (v BlockVienna) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
+	if lo > hi {
+		return dst
+	}
+	return blockRuns(dst, lo, hi, np, v.Map(lo, n, np),
+		func(p int) int { return v.start(p, n, np) })
+}
+
+// AppendRuns appends the single run of the undistributed dimension.
+func (Collapsed) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
+	if lo > hi {
+		return dst
+	}
+	return append(dst, Run{Lo: lo, Hi: hi, Proc: 1})
+}
+
+// AppendRuns appends one run per CYCLIC(k) segment overlapping
+// [lo, hi]: segment s covers [sk+1, sk+k] and belongs to position
+// (s mod np)+1, so the interval holds ⌈(hi-lo+1)/k⌉+1 runs at most.
+func (c Cyclic) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
+	if np == 1 && lo <= hi {
+		// All segments land on the one position: a single maximal run.
+		return append(dst, Run{Lo: lo, Hi: hi, Proc: 1})
+	}
+	for s := (lo - 1) / c.K; lo <= hi; s++ {
+		rhi := s*c.K + c.K
+		if rhi > hi {
+			rhi = hi
+		}
+		dst = append(dst, Run{Lo: lo, Hi: rhi, Proc: s%np + 1})
+		lo = rhi + 1
+	}
+	return dst
+}
+
+// AppendRuns appends the ≤b runs of [lo, hi]: block p owns the single
+// interval (G(p-1), G(p)], empty blocks (repeated bounds) skipped.
+func (g GeneralBlock) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
+	if lo > hi {
+		return dst
+	}
+	for p := g.Map(lo, n, np); ; p++ {
+		rhi := n
+		if p-1 < len(g.Bounds) && p < np {
+			rhi = g.Bounds[p-1]
+		}
+		if rhi < lo {
+			continue // empty block
+		}
+		if rhi > hi {
+			rhi = hi
+		}
+		dst = append(dst, Run{Lo: lo, Hi: rhi, Proc: p})
+		if rhi >= hi {
+			return dst
+		}
+		lo = rhi + 1
+	}
+}
+
+// AppendRuns walks the owner vector over [lo, hi] coalescing maximal
+// same-owner runs — the generic per-element fallback INDIRECT needs,
+// since a user-defined owner vector admits no closed form.
+func (f *indirect) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
+	if lo > hi {
+		return dst
+	}
+	cur := Run{Lo: lo, Hi: lo, Proc: f.owner[lo-1]}
+	for i := lo + 1; i <= hi; i++ {
+		if p := f.owner[i-1]; p == cur.Proc {
+			cur.Hi = i
+		} else {
+			dst = append(dst, cur)
+			cur = Run{Lo: i, Hi: i, Proc: p}
+		}
+	}
+	return append(dst, cur)
+}
+
+// RunCountEstimate counts the blocks intersecting the interval.
+func (b Block) RunCountEstimate(lo, hi, n, np int) int {
+	if lo > hi {
+		return 0
+	}
+	return b.Map(hi, n, np) - b.Map(lo, n, np) + 1
+}
+
+// RunCountEstimate counts the balanced blocks intersecting the
+// interval.
+func (v BlockVienna) RunCountEstimate(lo, hi, n, np int) int {
+	if lo > hi {
+		return 0
+	}
+	return v.Map(hi, n, np) - v.Map(lo, n, np) + 1
+}
+
+// RunCountEstimate reports the undistributed dimension's single run.
+func (Collapsed) RunCountEstimate(lo, hi, n, np int) int {
+	if lo > hi {
+		return 0
+	}
+	return 1
+}
+
+// RunCountEstimate counts the CYCLIC(k) segments intersecting the
+// interval (one on a single-position target).
+func (c Cyclic) RunCountEstimate(lo, hi, n, np int) int {
+	if lo > hi {
+		return 0
+	}
+	if np == 1 {
+		return 1
+	}
+	return (hi-1)/c.K - (lo-1)/c.K + 1
+}
+
+// RunCountEstimate counts the blocks intersecting the interval
+// (empty blocks over-count; this is a bound, not an exact count).
+func (g GeneralBlock) RunCountEstimate(lo, hi, n, np int) int {
+	if lo > hi {
+		return 0
+	}
+	return g.Map(hi, n, np) - g.Map(lo, n, np) + 1
+}
+
+// RunCountEstimate bounds the interval's runs by the vector's
+// precomputed total run count and the interval length.
+func (f *indirect) RunCountEstimate(lo, hi, n, np int) int {
+	if lo > hi {
+		return 0
+	}
+	if f.totalRuns < hi-lo+1 {
+		return f.totalRuns
+	}
+	return hi - lo + 1
+}
+
+// Tile is a rectangular sub-domain all of whose elements are owned by
+// the single abstract processor Proc: the rank-N composition of one
+// ownership run per dimension.
+type Tile struct {
+	Region index.Domain
+	Proc   int
+}
+
+// ErrMultiOwner reports that a mapping assigns several owners to some
+// element, so a single-owner tile decomposition does not exist
+// (replicated scalar-target distributions, replicating alignments).
+var ErrMultiOwner = errors.New("dist: element has multiple owners")
+
+// OwnerRuns returns the rectangular owner tiles partitioning region:
+// the cross product of the per-dimension ownership runs, each tile
+// owned by one abstract processor. It is AppendOwnerTiles into a
+// fresh slice.
+func (d *Distribution) OwnerRuns(region index.Domain) ([]Tile, error) {
+	return d.AppendOwnerTiles(nil, region)
+}
+
+// OwnerTileEstimate bounds the tile count of AppendOwnerTiles over
+// region in O(rank) without materializing anything. ok = false when
+// the region is outside the decomposable shape (non-standard, out of
+// bounds, wrong rank) or the distribution replicates.
+func (d *Distribution) OwnerTileEstimate(region index.Domain) (int, bool) {
+	if region.Rank() != len(d.dims) || !region.IsStandard() {
+		return 0, false
+	}
+	empty := false
+	for i, tr := range region.Dims {
+		if tr.Empty() {
+			empty = true
+			continue
+		}
+		if tr.Low < d.dims[i].low || tr.High > d.dims[i].high {
+			return 0, false
+		}
+	}
+	if empty {
+		return 0, true
+	}
+	if d.repl != nil {
+		if len(d.repl) != 1 {
+			return 0, false
+		}
+		return 1, true
+	}
+	total := 1
+	for i := range d.dims {
+		dt := &d.dims[i]
+		lo := region.Dims[i].Low - dt.low + 1
+		hi := region.Dims[i].High - dt.low + 1
+		total *= dt.f.RunCountEstimate(lo, hi, dt.n, dt.np)
+	}
+	return total, true
+}
+
+// AppendOwnerTiles appends the owner tiles partitioning region, a
+// standard (stride-1) sub-rectangle of the distributee's domain. The
+// tile count is the product of the per-dimension run counts —
+// independent of the region's size for the closed-form formats. It
+// returns ErrMultiOwner for replicated scalar-target distributions.
+func (d *Distribution) AppendOwnerTiles(dst []Tile, region index.Domain) ([]Tile, error) {
+	if region.Rank() != len(d.dims) {
+		return nil, fmt.Errorf("dist: rank-%d region %s for rank-%d distribution", region.Rank(), region, len(d.dims))
+	}
+	empty := false
+	for i, tr := range region.Dims {
+		if tr.Empty() {
+			empty = true
+			continue
+		}
+		if !tr.IsUnit() {
+			return nil, fmt.Errorf("dist: region %s must be standard (stride 1)", region)
+		}
+		if tr.Low < d.dims[i].low || tr.High > d.dims[i].high {
+			return nil, fmt.Errorf("dist: region %s outside domain %s", region, d.Array)
+		}
+	}
+	if empty {
+		return dst, nil
+	}
+	if d.repl != nil {
+		if len(d.repl) != 1 {
+			return nil, ErrMultiOwner
+		}
+		return append(dst, Tile{Region: region, Proc: d.repl[0]}), nil
+	}
+	rank := len(d.dims)
+	perDim := make([][]Run, rank)
+	for i := range d.dims {
+		dt := &d.dims[i]
+		lo := region.Dims[i].Low - dt.low + 1
+		hi := region.Dims[i].High - dt.low + 1
+		perDim[i] = dt.f.AppendRuns(nil, lo, hi, dt.n, dt.np)
+	}
+	idx := make([]int, rank)
+	for {
+		k := 0
+		dims := make([]index.Triplet, rank)
+		for i, dt := range d.dims {
+			r := perDim[i][idx[i]]
+			dims[i] = index.Unit(r.Lo+dt.low-1, r.Hi+dt.low-1)
+			k += (r.Proc - 1) * dt.mult
+		}
+		dst = append(dst, Tile{Region: index.Domain{Dims: dims}, Proc: d.aps[k]})
+		i := 0
+		for ; i < rank; i++ {
+			idx[i]++
+			if idx[i] < len(perDim[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == rank {
+			return dst, nil
+		}
+	}
+}
+
+// AppendOwners appends the owner set of element i to dst without
+// allocating: the run-free analogue of Owners for per-element callers
+// (inquiry functions, replicated-write paths) that would otherwise
+// discard a fresh slice per call.
+func (d *Distribution) AppendOwners(dst []int, i index.Tuple) ([]int, error) {
+	if len(i) != len(d.dims) {
+		return nil, fmt.Errorf("dist: rank-%d index %s for rank-%d distribution", len(i), i, len(d.dims))
+	}
+	k := 0
+	for dim := range d.dims {
+		dt := &d.dims[dim]
+		v := i[dim]
+		if v < dt.low || v > dt.high {
+			return nil, fmt.Errorf("dist: index %s outside domain %s", i, d.Array)
+		}
+		if !dt.collapsed {
+			p := dt.f.Map(v-dt.low+1, dt.n, dt.np)
+			k += (p - 1) * dt.mult
+		}
+	}
+	if d.repl != nil {
+		return append(dst, d.repl...), nil
+	}
+	if k < 0 || k >= len(d.aps) {
+		return nil, fmt.Errorf("dist: index %s mapped outside target %s", i, d.Target)
+	}
+	return append(dst, d.aps[k]), nil
+}

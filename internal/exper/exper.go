@@ -61,25 +61,48 @@ func (r Result) Render() string {
 
 // All runs every experiment at its default parameters.
 func All() ([]Result, error) {
-	runs := []func() (Result, error){
-		func() (Result, error) { return E1DistributionFormats(16, 4) },
-		func() (Result, error) { return E2StaggeredGrid(64, 4, 4) },
-		func() (Result, error) { return E2bBlockVariantAblation(64, 8) },
-		func() (Result, error) { return E3ProcedureBoundary() },
-		func() (Result, error) { return E4GeneralBlockBalance(4096, 16) },
-		func() (Result, error) { return E5ProcessorSections(64, 8) },
-		func() (Result, error) { return E6RedistributeBundling(256, 8, 4) },
-		func() (Result, error) { return E7RealignSurgery(128, 8) },
-		func() (Result, error) { return E8Allocatables() },
-		func() (Result, error) { return E9CyclicLU(1024, 16) },
-		func() (Result, error) { return E10Replication(64, 8) },
-		func() (Result, error) { return E11Collapse(64, 8) },
-		func() (Result, error) { return E12TemplateLimitations() },
-		func() (Result, error) { return E13GeneralDistributions(1024, 8) },
+	return Run(nil)
+}
+
+// Entry names one experiment with its default-parameter runner. The
+// Title duplicates the one carried by the produced Result so callers
+// can enumerate experiments without running them; a test asserts the
+// two stay in sync.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func() (Result, error)
+}
+
+// Registry lists every experiment in presentation order.
+func Registry() []Entry {
+	return []Entry{
+		{"E1", "distribution formats (§4.1)", func() (Result, error) { return E1DistributionFormats(16, 4) }},
+		{"E2", "staggered grid (§8.1.1, Thole example)", func() (Result, error) { return E2StaggeredGrid(64, 4, 4) }},
+		{"E2b", "BLOCK variant ablation (§8.1.1 footnote)", func() (Result, error) { return E2bBlockVariantAblation(64, 8) }},
+		{"E3", "procedure boundaries (§7, §8.1.2)", func() (Result, error) { return E3ProcedureBoundary() }},
+		{"E4", "GENERAL_BLOCK load balancing (§4.1.2)", func() (Result, error) { return E4GeneralBlockBalance(4096, 16) }},
+		{"E5", "processor sections (§4 example)", func() (Result, error) { return E5ProcessorSections(64, 8) }},
+		{"E6", "REDISTRIBUTE with aligned followers (§4.2)", func() (Result, error) { return E6RedistributeBundling(256, 8, 4) }},
+		{"E7", "REALIGN forest surgery (§5.2)", func() (Result, error) { return E7RealignSurgery(128, 8) }},
+		{"E8", "allocatable arrays (§6 example, verbatim)", func() (Result, error) { return E8Allocatables() }},
+		{"E9", "block-cyclic vs block under shrinking active set (§4.1.3)", func() (Result, error) { return E9CyclicLU(1024, 16) }},
+		{"E10", "replication via ALIGN A(:) WITH D(:,*) (§5.1 ex. 1)", func() (Result, error) { return E10Replication(64, 8) }},
+		{"E11", "collapse via ALIGN B(:,*) WITH E(:) (§5.1 ex. 2)", func() (Result, error) { return E11Collapse(64, 8) }},
+		{"E12", "template limitations made executable (§8.2)", func() (Result, error) { return E12TemplateLimitations() }},
+		{"E13", "generalized distribution functions (intro claim 3, §9)", func() (Result, error) { return E13GeneralDistributions(1024, 8) }},
 	}
+}
+
+// Run executes the experiments whose ids are in want (all of them
+// when want is nil or empty), in registry order.
+func Run(want map[string]bool) ([]Result, error) {
 	var out []Result
-	for _, run := range runs {
-		r, err := run()
+	for _, e := range Registry() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		r, err := e.Run()
 		if err != nil {
 			return out, err
 		}

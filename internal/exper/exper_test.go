@@ -123,3 +123,17 @@ func TestResultRendering(t *testing.T) {
 		t.Fatal("result with a failing check must not pass")
 	}
 }
+
+// TestRegistryMatchesResults pins the registry's static ids/titles to
+// the ones each experiment reports, so -list output cannot drift.
+func TestRegistryMatchesResults(t *testing.T) {
+	for _, e := range Registry() {
+		r, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if r.ID != e.ID || r.Title != e.Title {
+			t.Errorf("registry (%s, %q) != result (%s, %q)", e.ID, e.Title, r.ID, r.Title)
+		}
+	}
+}

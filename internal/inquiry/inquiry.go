@@ -94,28 +94,42 @@ func Describe(m core.ElementMapping) Info {
 }
 
 // OwnersOf is the element-level inquiry: the processor set holding
-// one element.
+// one element. The mapping's allocation-free append path produces the
+// caller's slice directly.
 func OwnersOf(m core.ElementMapping, i index.Tuple) ([]int, error) {
-	os, err := m.Owners(i)
+	out, err := core.AppendOwners(m, nil, i)
 	if err != nil {
 		return nil, err
 	}
-	out := append([]int(nil), os...)
 	sort.Ints(out)
 	return out, nil
 }
 
 // LocalExtentOf counts the elements of the mapping owned by processor
-// p (the HPF-style "number of local elements" inquiry).
+// p (the HPF-style "number of local elements" inquiry): a sum of
+// owner-tile volumes for single-owner mappings, a per-element scan
+// (allocation-free via AppendOwners) only when elements are
+// replicated.
 func LocalExtentOf(m core.ElementMapping, p int) (int, error) {
+	if tiles, err := core.OwnerTiles(m, m.Domain()); err == nil {
+		count := 0
+		for _, tl := range tiles {
+			if tl.Proc == p {
+				count += tl.Region.Size()
+			}
+		}
+		return count, nil
+	}
 	count := 0
+	var buf []int
 	var ferr error
 	m.Domain().ForEach(func(t index.Tuple) bool {
-		os, err := m.Owners(t)
+		os, err := core.AppendOwners(m, buf[:0], t)
 		if err != nil {
 			ferr = err
 			return false
 		}
+		buf = os
 		for _, o := range os {
 			if o == p {
 				count++

@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hpfnt/internal/core"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+	"hpfnt/internal/proc"
+)
+
+// TestAnalyzeRunsMatchesElementwise differentially tests the
+// run-based statement analysis against the per-element oracle across
+// format families, mixed lhs/rhs distributions and stencil shapes:
+// identical message aggregation, loads and reference counts.
+func TestAnalyzeRunsMatchesElementwise(t *testing.T) {
+	sys, err := proc.NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := sys.DeclareArray("P1", index.Standard(1, 4))
+	p2, _ := sys.DeclareArray("P2", index.Standard(1, 2, 1, 2))
+
+	n := 17
+	dom := index.Standard(0, n, 0, n)
+	owner := make([]int, n+1)
+	for i := range owner {
+		owner[i] = (i*3)%4 + 1
+	}
+	ind, err := dist.NewIndirect(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(f0, f1 dist.Format, tg proc.Target) core.ElementMapping {
+		d, err := dist.New(dom, []dist.Format{f0, f1}, tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.DistMapping{D: d}
+	}
+	maps := map[string]core.ElementMapping{
+		"block-collapsed":  mk(dist.Block{}, dist.Collapsed{}, proc.Whole(p1)),
+		"vienna-collapsed": mk(dist.BlockVienna{}, dist.Collapsed{}, proc.Whole(p1)),
+		"cyclic1-coll":     mk(dist.Cyclic{K: 1}, dist.Collapsed{}, proc.Whole(p1)),
+		"cyclic3-coll":     mk(dist.Cyclic{K: 3}, dist.Collapsed{}, proc.Whole(p1)),
+		"gblock-coll":      mk(dist.GeneralBlock{Bounds: []int{4, 4, 12}}, dist.Collapsed{}, proc.Whole(p1)),
+		"indirect-coll":    mk(ind, dist.Collapsed{}, proc.Whole(p1)),
+		"block-block":      mk(dist.Block{}, dist.Block{}, proc.Whole(p2)),
+		"cyclic-cyclic":    mk(dist.Cyclic{K: 2}, dist.Cyclic{K: 3}, proc.Whole(p2)),
+	}
+
+	interior := index.Standard(1, n-1, 1, n-1)
+	stencils := map[string][][]int{
+		"jacobi":   {{-1, 0}, {1, 0}, {0, -1}, {0, 1}},
+		"center":   {{0, 0}},
+		"diagonal": {{-1, -1}, {1, 1}},
+	}
+
+	for ln, lm := range maps {
+		for rn, rm := range maps {
+			for sn, shifts := range stencils {
+				label := fmt.Sprintf("%s=%s/%s", ln, rn, sn)
+				t.Run(label, func(t *testing.T) {
+					lhs, err := NewArray("L", lm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					src, err := NewArray("R", rm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					terms := make([]Term, len(shifts))
+					for i, s := range shifts {
+						terms[i] = Term{Src: src, Shift: s, Coeff: 1}
+					}
+					if !runAnalyzable(lhs, interior, terms) {
+						t.Fatalf("statement unexpectedly not run-analyzable")
+					}
+					// minElems 0: exercise the mechanism even where the
+					// production heuristic would prefer the grids.
+					fast, ok := analyzeRuns(lhs, interior, terms, 0)
+					if !ok {
+						t.Fatalf("analyzeRuns declined")
+					}
+					slow, err := analyzeElementwise(lhs, interior, terms)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(fast.pairElems, slow.pairElems) {
+						t.Errorf("pairElems: runs %v, oracle %v", fast.pairElems, slow.pairElems)
+					}
+					if !reflect.DeepEqual(fast.loads, slow.loads) {
+						t.Errorf("loads: runs %v, oracle %v", fast.loads, slow.loads)
+					}
+					if fast.localRefs != slow.localRefs || fast.remoteRefs != slow.remoteRefs {
+						t.Errorf("refs: runs (%d,%d), oracle (%d,%d)",
+							fast.localRefs, fast.remoteRefs, slow.localRefs, slow.remoteRefs)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAnalyzeFallbacks pins the conditions under which the analysis
+// must take the per-element path.
+func TestAnalyzeFallbacks(t *testing.T) {
+	sys, _ := proc.NewSystem(4)
+	p1, _ := sys.DeclareArray("P1", index.Standard(1, 4))
+	dom := index.Standard(1, 12)
+	d, err := dist.New(dom, []dist.Format{dist.Block{}}, proc.Whole(p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArray("A", core.DistMapping{D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []Term{{Src: a, Shift: []int{-1}, Coeff: 1}}
+	// Out-of-bounds shift: not run-analyzable, and the oracle reports
+	// the error.
+	if runAnalyzable(a, dom, terms) {
+		t.Fatal("out-of-bounds statement must not be run-analyzable")
+	}
+	if _, err := analyzeStatement(a, dom, terms); err == nil {
+		t.Fatal("out-of-bounds statement must fail analysis")
+	}
+	// Strided region: falls back, still analyzed correctly.
+	strided := index.New(index.Triplet{Low: 3, High: 11, Stride: 2})
+	if runAnalyzable(a, strided, []Term{{Src: a, Shift: []int{0}, Coeff: 1}}) {
+		t.Fatal("strided region must not be run-analyzable")
+	}
+	if _, err := analyzeStatement(a, strided, []Term{{Src: a, Shift: []int{0}, Coeff: 1}}); err != nil {
+		t.Fatalf("strided-region analysis: %v", err)
+	}
+}

@@ -140,22 +140,24 @@ type commKey struct {
 // (sender, receiver) pair; the machine's load, reference and traffic
 // counters are updated. A nil machine executes values only.
 func ShiftAssign(m *machine.Machine, lhs *Array, region index.Domain, terms []Term) error {
-	if region.Rank() != lhs.Dom.Rank() {
-		return fmt.Errorf("runtime: region rank %d does not match %s rank %d", region.Rank(), lhs.Name, lhs.Dom.Rank())
+	if err := checkStatement(lhs, region, terms); err != nil {
+		return err
 	}
-	for _, tm := range terms {
-		if len(tm.Shift) != lhs.Dom.Rank() {
-			return fmt.Errorf("runtime: term over %s has shift rank %d, want %d", tm.Src.Name, len(tm.Shift), lhs.Dom.Rank())
+	// Ownership analysis over runs (falling back to the per-element
+	// oracle when run analysis does not apply); value evaluation stays
+	// a plain data sweep with no ownership work per element.
+	var an *analysis
+	if m != nil {
+		var err error
+		an, err = analyzeStatement(lhs, region, terms)
+		if err != nil {
+			return err
 		}
 	}
 	// Evaluate into a temporary (simultaneous assignment semantics).
 	vals := make([]float64, region.Size())
 	offs := make([]int, region.Size())
 	ref := make(index.Tuple, lhs.Dom.Rank())
-
-	pairElems := map[[2]int]int{}
-	seen := map[commKey]bool{}
-
 	k := 0
 	var ferr error
 	region.ForEach(func(t index.Tuple) bool {
@@ -166,7 +168,6 @@ func ShiftAssign(m *machine.Machine, lhs *Array, region index.Domain, terms []Te
 		}
 		offs[k] = loff
 		sum := 0.0
-		writers := lhs.ownerSet(loff)
 		for _, tm := range terms {
 			for d := range t {
 				ref[d] = t[d] + tm.Shift[d]
@@ -177,28 +178,6 @@ func ShiftAssign(m *machine.Machine, lhs *Array, region index.Domain, terms []Te
 				return false
 			}
 			sum += tm.Coeff * tm.Src.data[roff]
-			if m == nil {
-				continue
-			}
-			for _, w := range writers {
-				if tm.Src.ownedBy(roff, w) {
-					m.RecordLocal(1)
-					continue
-				}
-				m.RecordRemote(1)
-				key := commKey{src: tm.Src, off: roff, dst: w}
-				if seen[key] {
-					continue // already fetched for this statement
-				}
-				seen[key] = true
-				sender := tm.Src.ownerSet(roff)[0]
-				pairElems[[2]int{sender, w}]++
-			}
-		}
-		if m != nil {
-			for _, w := range writers {
-				m.AddLoad(w, len(terms))
-			}
 		}
 		vals[k] = sum
 		k++
@@ -207,10 +186,8 @@ func ShiftAssign(m *machine.Machine, lhs *Array, region index.Domain, terms []Te
 	if ferr != nil {
 		return ferr
 	}
-	if m != nil {
-		for pr, n := range pairElems {
-			m.Send(pr[0], pr[1], n)
-		}
+	if an != nil {
+		an.charge(m)
 	}
 	for i := 0; i < k; i++ {
 		lhs.data[offs[i]] = vals[i]

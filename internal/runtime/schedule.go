@@ -32,68 +32,27 @@ type Schedule struct {
 }
 
 // BuildSchedule analyzes the statement lhs(region) = Σ terms once and
-// returns its reusable communication schedule. The arrays' mappings
-// must not be remapped between executions (remapping invalidates the
-// schedule; rebuild after REDISTRIBUTE/REALIGN).
+// returns its reusable communication schedule. The analysis runs over
+// ownership runs (closed-form interval intersection of the lhs and
+// rhs owner tiles, see analyzeStatement) rather than element
+// enumeration, so its cost scales with the number of ownership runs
+// and the ghost-boundary size, not the region volume. The arrays'
+// mappings must not be remapped between executions (remapping
+// invalidates the schedule; rebuild after REDISTRIBUTE/REALIGN).
 func BuildSchedule(lhs *Array, region index.Domain, terms []Term) (*Schedule, error) {
-	if region.Rank() != lhs.Dom.Rank() {
-		return nil, fmt.Errorf("runtime: region rank %d does not match %s rank %d", region.Rank(), lhs.Name, lhs.Dom.Rank())
+	an, err := analyzeStatement(lhs, region, terms)
+	if err != nil {
+		return nil, err
 	}
-	for _, tm := range terms {
-		if len(tm.Shift) != lhs.Dom.Rank() {
-			return nil, fmt.Errorf("runtime: term over %s has shift rank %d, want %d", tm.Src.Name, len(tm.Shift), lhs.Dom.Rank())
-		}
-	}
-	s := &Schedule{
-		lhs:       lhs,
-		region:    region,
-		terms:     terms,
-		pairElems: map[[2]int]int{},
-		loads:     map[int]int{},
-	}
-	ref := make(index.Tuple, lhs.Dom.Rank())
-	seen := map[commKey]bool{}
-	var ferr error
-	region.ForEach(func(t index.Tuple) bool {
-		loff, ok := lhs.Dom.Offset(t)
-		if !ok {
-			ferr = fmt.Errorf("runtime: region index %s outside %s domain %s", t, lhs.Name, lhs.Dom)
-			return false
-		}
-		writers := lhs.ownerSet(loff)
-		for _, tm := range terms {
-			for d := range t {
-				ref[d] = t[d] + tm.Shift[d]
-			}
-			roff, ok := tm.Src.Dom.Offset(ref)
-			if !ok {
-				ferr = fmt.Errorf("runtime: reference %s(%s) out of bounds in schedule for %s(%s)", tm.Src.Name, ref, lhs.Name, t)
-				return false
-			}
-			for _, w := range writers {
-				if tm.Src.ownedBy(roff, w) {
-					s.localRefs++
-					continue
-				}
-				s.remoteRefs++
-				key := commKey{src: tm.Src, off: roff, dst: w}
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				sender := tm.Src.ownerSet(roff)[0]
-				s.pairElems[[2]int{sender, w}]++
-			}
-		}
-		for _, w := range writers {
-			s.loads[w] += len(terms)
-		}
-		return true
-	})
-	if ferr != nil {
-		return nil, ferr
-	}
-	return s, nil
+	return &Schedule{
+		lhs:        lhs,
+		region:     region,
+		terms:      terms,
+		pairElems:  an.pairElems,
+		loads:      an.loads,
+		localRefs:  an.localRefs,
+		remoteRefs: an.remoteRefs,
+	}, nil
 }
 
 // GhostElements reports the total number of elements exchanged per

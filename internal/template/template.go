@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"hpfnt/internal/align"
+	"hpfnt/internal/core"
 	"hpfnt/internal/dist"
 	"hpfnt/internal/expr"
 	"hpfnt/internal/index"
@@ -45,6 +46,10 @@ type Model struct {
 	templates map[string]*Template
 	arrays    map[string]*tnode
 	nextTag   int
+	// composed memoizes composedMapping per array; any mutation of
+	// the alignment/distribution state drops the whole cache (chains
+	// may share suffixes, so per-array invalidation is not worth it).
+	composed map[string]core.ElementMapping
 }
 
 type tnode struct {
@@ -127,6 +132,7 @@ func (m *Model) DistributeTemplate(name string, formats []dist.Format, target pr
 		return err
 	}
 	t.d = d
+	m.composed = nil
 	return nil
 }
 
@@ -145,6 +151,7 @@ func (m *Model) DistributeArray(name string, formats []dist.Format, target proc.
 		return err
 	}
 	n.d = d
+	m.composed = nil
 	return nil
 }
 
@@ -186,6 +193,7 @@ func (m *Model) AlignWithTemplate(s align.Spec) error {
 	n.toTemplate = s.Base
 	n.toArray = ""
 	n.alpha = alpha
+	m.composed = nil
 	return nil
 }
 
@@ -211,6 +219,7 @@ func (m *Model) AlignWithArray(s align.Spec) error {
 	n.toArray = s.Base
 	n.toTemplate = ""
 	n.alpha = alpha
+	m.composed = nil
 	return nil
 }
 
@@ -317,3 +326,81 @@ func (tm Mapping) Owners(i index.Tuple) ([]int, error) { return tm.M.Owners(tm.N
 
 // Describe names the mapping.
 func (tm Mapping) Describe() string { return "HPF-template mapping of " + tm.Name }
+
+// AppendOwnerTiles resolves the alignment chain into the equivalent
+// composed core mapping (nested CONSTRUCTs over the distributed root)
+// and delegates to the run-based tile decomposition, so template-model
+// arrays ride the same bulk ownership path as the paper's model.
+// Chains outside the affine subset decline with core.ErrNoBulk.
+func (tm Mapping) AppendOwnerTiles(dst []core.Tile, region index.Domain) ([]core.Tile, error) {
+	cm, err := tm.M.composedMapping(tm.Name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return core.AppendBulkOwnerTiles(dst, cm, region)
+}
+
+// EstimateOwnerTiles bounds the bulk tile count through the composed
+// chain without materializing tiles.
+func (tm Mapping) EstimateOwnerTiles(region index.Domain) (int, bool) {
+	cm, err := tm.M.composedMapping(tm.Name, nil)
+	if err != nil {
+		return 0, false
+	}
+	return core.EstimateBulkTiles(cm, region)
+}
+
+// composedMapping builds the core mapping equivalent of an array's
+// alignment chain: its own distribution, or CONSTRUCT(α, ...) down to
+// the distributed template or array at the chain's root. Results are
+// memoized until the next model mutation, so repeated bulk-tile
+// queries (one per tile per term in the runtime's analysis) do not
+// re-walk the chain.
+func (m *Model) composedMapping(name string, seen map[string]bool) (core.ElementMapping, error) {
+	if cm, ok := m.composed[name]; ok {
+		return cm, nil
+	}
+	cm, err := m.composeMapping(name, seen)
+	if err != nil {
+		return nil, err
+	}
+	if m.composed == nil {
+		m.composed = map[string]core.ElementMapping{}
+	}
+	m.composed[name] = cm
+	return cm, nil
+}
+
+func (m *Model) composeMapping(name string, seen map[string]bool) (core.ElementMapping, error) {
+	if seen == nil {
+		// Allocated only on memo misses; cached lookups never pay for
+		// the cycle-detection set.
+		seen = map[string]bool{}
+	}
+	n, ok := m.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("template: unknown array %s", name)
+	}
+	if seen[name] {
+		return nil, fmt.Errorf("template: alignment cycle through %s", name)
+	}
+	seen[name] = true
+	switch {
+	case n.d != nil:
+		return core.DistMapping{D: n.d}, nil
+	case n.toTemplate != "":
+		t := m.templates[n.toTemplate]
+		if t.d == nil {
+			return nil, fmt.Errorf("template: template %s has no distribution", t.Name)
+		}
+		return core.Construct(n.alpha, core.DistMapping{D: t.d}), nil
+	case n.toArray != "":
+		inner, err := m.composedMapping(n.toArray, seen)
+		if err != nil {
+			return nil, err
+		}
+		return core.Construct(n.alpha, inner), nil
+	default:
+		return nil, fmt.Errorf("template: array %s has neither distribution nor alignment", name)
+	}
+}

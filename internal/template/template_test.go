@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hpfnt/internal/align"
+	"hpfnt/internal/core"
 	"hpfnt/internal/dist"
 	"hpfnt/internal/expr"
 	"hpfnt/internal/index"
@@ -281,5 +282,54 @@ func TestTemplateBoundsEnvIntrinsics(t *testing.T) {
 	o9, _ := m.Owners("A", index.Tuple{9})
 	if o12[0] != o9[0] {
 		t.Fatalf("clamped alignments must coincide: %v vs %v", o12, o9)
+	}
+}
+
+func TestTemplateMappingOwnerTiles(t *testing.T) {
+	// The bulk tile path through a height-3 alignment chain (with a
+	// stride-2 alignment in the middle) must agree element-for-element
+	// with chain resolution via Owners.
+	m, tg := newModel(t, 4)
+	m.DeclareTemplate("T", index.Standard(1, 40))
+	m.DeclareArray("A", index.Standard(1, 40))
+	m.DeclareArray("B", index.Standard(1, 16))
+	if err := m.AlignWithTemplate(align.Spec{
+		Alignee: "A", Axes: []align.Axis{align.DummyAxis("I")},
+		Base: "T", Subs: []align.Subscript{align.ExprSub(expr.Dummy("I"))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AlignWithArray(align.Spec{
+		Alignee: "B", Axes: []align.Axis{align.DummyAxis("I")},
+		Base: "A", Subs: []align.Subscript{align.ExprSub(expr.Affine(2, "I", 3))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DistributeTemplate("T", []dist.Format{dist.Cyclic{K: 3}}, tg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A", "B"} {
+		tm := Mapping{M: m, Name: name}
+		tiles, err := core.OwnerTiles(tm, tm.Domain())
+		if err != nil {
+			t.Fatalf("%s: OwnerTiles: %v", name, err)
+		}
+		total := 0
+		for _, tl := range tiles {
+			total += tl.Region.Size()
+			tl.Region.ForEach(func(tu index.Tuple) bool {
+				os, err := tm.Owners(tu)
+				if err != nil {
+					t.Fatalf("%s: Owners(%s): %v", name, tu, err)
+				}
+				if len(os) != 1 || os[0] != tl.Proc {
+					t.Fatalf("%s: tile owner %d at %s, oracle %v", name, tl.Proc, tu, os)
+				}
+				return true
+			})
+		}
+		if total != tm.Domain().Size() {
+			t.Fatalf("%s: tiles cover %d of %d elements", name, total, tm.Domain().Size())
+		}
 	}
 }

@@ -173,33 +173,19 @@ type LUReport struct {
 // i in (k, n] performs n-k units of work. BLOCK distributions idle
 // the processors owning early rows as the active set shrinks; CYCLIC
 // keeps all processors busy (§4.1.3's motivation).
+//
+// Row i accumulates Σ_{k=1}^{i-1} (n-k) = (i-1)n − i(i-1)/2 units
+// over the whole factorization, so each ownership run [lo, hi]
+// contributes a closed-form polynomial sum and the sweep is O(runs)
+// — no per-row or per-step enumeration (INDIRECT aside, whose run
+// computation walks its owner vector once).
 func LUSweep(n, np int, f dist.Format) (LUReport, error) {
 	if err := f.Validate(n, np); err != nil {
 		return LUReport{}, err
 	}
 	load := make([]int64, np+1)
-	// Owners of each row are fixed across steps; precompute.
-	owner := make([]int, n+1)
-	for i := 1; i <= n; i++ {
-		owner[i] = f.Map(i, n, np)
-	}
-	// Per step, each active row costs (n-k) units on its owner. Count
-	// rows per owner in the suffix via suffix sums.
-	suffix := make([][]int64, np+1)
-	for p := 1; p <= np; p++ {
-		suffix[p] = make([]int64, n+2)
-	}
-	for i := n; i >= 1; i-- {
-		for p := 1; p <= np; p++ {
-			suffix[p][i] = suffix[p][i+1]
-		}
-		suffix[owner[i]][i]++
-	}
-	for k := 1; k < n; k++ {
-		cost := int64(n - k)
-		for p := 1; p <= np; p++ {
-			load[p] += suffix[p][k+1] * cost
-		}
+	for _, r := range dist.Runs(f, 1, n, n, np) {
+		load[r.Proc] += luRunLoad(int64(n), int64(r.Lo), int64(r.Hi))
 	}
 	var max, total int64
 	for p := 1; p <= np; p++ {
@@ -215,19 +201,36 @@ func LUSweep(n, np int, f dist.Format) (LUReport, error) {
 	return LUReport{Format: f.String(), MaxLoad: max, TotalLoad: total, Imbalance: imb}, nil
 }
 
+// luRunLoad is Σ_{i=lo..hi} (i-1)n − i(i-1)/2, via the closed forms
+// for Σi and Σi² over the interval.
+func luRunLoad(n, lo, hi int64) int64 {
+	cnt := hi - lo + 1
+	s1 := (lo + hi) * cnt / 2
+	s2 := hi*(hi+1)*(2*hi+1)/6 - (lo-1)*lo*(2*lo-1)/6
+	return n*(s1-cnt) - (s2-s1)/2
+}
+
 // RowSweepLoad computes, for a rank-1 row mapping and per-row weights
 // w, the per-processor load vector on a machine of np processors.
+// Loads are charged per ownership run through a prefix sum over the
+// (truncated) weights — one AddLoad per run instead of one Map and
+// AddLoad per row.
 func RowSweepLoad(m *machine.Machine, f dist.Format, w []float64, np int) error {
 	n := len(w)
 	if err := f.Validate(n, np); err != nil {
 		return err
 	}
+	// prefix[i] = Σ_{j<=i} int(w[j-1]), matching the per-row integer
+	// truncation of the element-wise formulation.
+	prefix := make([]int, n+1)
 	for i := 1; i <= n; i++ {
-		p := f.Map(i, n, np)
-		if p < 1 || p > np {
-			return fmt.Errorf("workload: format mapped row %d to processor %d of %d", i, p, np)
+		prefix[i] = prefix[i-1] + int(w[i-1])
+	}
+	for _, r := range dist.Runs(f, 1, n, n, np) {
+		if r.Proc < 1 || r.Proc > np {
+			return fmt.Errorf("workload: format mapped rows %d:%d to processor %d of %d", r.Lo, r.Hi, r.Proc, np)
 		}
-		m.AddLoad(p, int(w[i-1]))
+		m.AddLoad(r.Proc, prefix[r.Hi]-prefix[r.Lo-1])
 	}
 	return nil
 }

@@ -154,3 +154,87 @@ func TestRowSweepLoad(t *testing.T) {
 		t.Fatalf("expected increasing loads, got %v", loads[1:])
 	}
 }
+
+// TestLUSweepClosedForm differentially tests the O(runs) closed-form
+// LU load sums against a naive per-step, per-row oracle.
+func TestLUSweepClosedForm(t *testing.T) {
+	naive := func(n, np int, f dist.Format) []int64 {
+		load := make([]int64, np+1)
+		for k := 1; k < n; k++ {
+			for i := k + 1; i <= n; i++ {
+				load[f.Map(i, n, np)] += int64(n - k)
+			}
+		}
+		return load
+	}
+	owner := make([]int, 37)
+	for i := range owner {
+		owner[i] = (i*5)%4 + 1
+	}
+	ind, err := dist.NewIndirect(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		n, np int
+		f     dist.Format
+	}{
+		{37, 4, dist.Block{}},
+		{37, 4, dist.BlockVienna{}},
+		{37, 4, dist.Cyclic{K: 1}},
+		{37, 4, dist.Cyclic{K: 5}},
+		{37, 4, dist.GeneralBlock{Bounds: []int{10, 10, 30}}},
+		{37, 4, ind},
+		{1, 3, dist.Block{}},
+		{64, 8, dist.Cyclic{K: 2}},
+	}
+	for _, c := range cases {
+		rep, err := LUSweep(c.n, c.np, c.f)
+		if err != nil {
+			t.Fatalf("%s: %v", c.f, err)
+		}
+		load := naive(c.n, c.np, c.f)
+		var max, total int64
+		for p := 1; p <= c.np; p++ {
+			total += load[p]
+			if load[p] > max {
+				max = load[p]
+			}
+		}
+		if rep.MaxLoad != max || rep.TotalLoad != total {
+			t.Fatalf("%s n=%d np=%d: closed form (max %d, total %d), oracle (max %d, total %d)",
+				c.f, c.n, c.np, rep.MaxLoad, rep.TotalLoad, max, total)
+		}
+	}
+}
+
+// TestRowSweepLoadRuns checks the per-run load aggregation against
+// per-row accumulation, including the per-row integer truncation.
+func TestRowSweepLoadRuns(t *testing.T) {
+	n, np := 41, 4
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i)*0.75 + 0.5 // fractional: truncation matters
+	}
+	for _, f := range []dist.Format{dist.Block{}, dist.Cyclic{K: 3}, dist.GeneralBlock{Bounds: []int{8, 20, 22}}} {
+		m1, err := machine.New(np, machine.DefaultCost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RowSweepLoad(m1, f, w, np); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		m2, err := machine.New(np, machine.DefaultCost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= n; i++ {
+			m2.AddLoad(f.Map(i, n, np), int(w[i-1]))
+		}
+		s1, s2 := m1.Stats(), m2.Stats()
+		if s1.MaxLoad != s2.MaxLoad || s1.TotalLoad != s2.TotalLoad {
+			t.Fatalf("%s: run loads (max %d, total %d) != per-row (max %d, total %d)",
+				f, s1.MaxLoad, s1.TotalLoad, s2.MaxLoad, s2.TotalLoad)
+		}
+	}
+}
