@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz
+.PHONY: check fmt vet build test race race-spmd bench speedup fuzz fuzz-engine
 
 check: fmt vet build test
 
@@ -20,8 +20,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The E1–E13 experiments plus the facade and workload suites on the
+# parallel spmd engine, under the race detector.
+race-spmd:
+	HPFNT_ENGINE=spmd $(GO) test -race -count=1 ./internal/exper ./hpf ./internal/workload
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# The 512² Jacobi schedule-replay speedup gate (spmd >= 1.5x sim).
+speedup:
+	HPFNT_SPEEDUP=1 $(GO) test -run TestSpmdSpeedupJacobi -count=1 -v ./internal/workload
+
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzFormatRoundTrip -fuzztime 30s ./internal/dist
+
+# Differential fuzz of the spmd engine against the sequential oracle.
+fuzz-engine:
+	$(GO) test -run xxx -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine

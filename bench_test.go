@@ -13,6 +13,7 @@ import (
 	"hpfnt/internal/align"
 	"hpfnt/internal/core"
 	"hpfnt/internal/dist"
+	"hpfnt/internal/engine"
 	"hpfnt/internal/exper"
 	"hpfnt/internal/expr"
 	"hpfnt/internal/index"
@@ -329,6 +330,87 @@ func BenchmarkJacobiSweep(b *testing.B) {
 func BenchmarkLUSweepCyclic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.LUSweep(1024, 16, dist.Cyclic{K: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel engine: 512² Jacobi schedule replay, sequential
+// simulator vs the spmd engine (the speedup benchmark behind the
+// -speedup flag of cmd/hpfbench). ---
+
+func benchJacobiReplay(b *testing.B, kind string) {
+	b.Helper()
+	eng, err := engine.New(kind, 8, machine.DefaultCost())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	n := 512
+	am, err := workload.BlockRowMapping(n, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := workload.BlockRowMapping(n, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aa, err := eng.NewArray("A", am)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ba, err := eng.NewArray("B", bm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aa.Fill(func(t index.Tuple) float64 { return float64((t[0]*7 + t[1]) % 101) })
+	sched, err := ba.NewSchedule(index.Standard(2, n-1, 2, n-1), []engine.Term{
+		engine.Read(aa, 0.25, -1, 0), engine.Read(aa, 0.25, 1, 0),
+		engine.Read(aa, 0.25, 0, -1), engine.Read(aa, 0.25, 0, 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sched.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiReplaySim(b *testing.B) { benchJacobiReplay(b, engine.Sim) }
+
+func BenchmarkJacobiReplaySPMD(b *testing.B) { benchJacobiReplay(b, engine.SPMD) }
+
+// BenchmarkSpmdScheduleBuild measures the spmd schedule compiler
+// (per-worker plans plus ghost-exchange lists) on the 128² stencil.
+func BenchmarkSpmdScheduleBuild(b *testing.B) {
+	eng, err := engine.New(engine.SPMD, 8, machine.DefaultCost())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	n := 128
+	am, err := workload.BlockRowMapping(n, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := workload.BlockRowMapping(n, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aa, _ := eng.NewArray("A", am)
+	ba, _ := eng.NewArray("B", bm)
+	terms := []engine.Term{
+		engine.Read(aa, 0.25, -1, 0), engine.Read(aa, 0.25, 1, 0),
+		engine.Read(aa, 0.25, 0, -1), engine.Read(aa, 0.25, 0, 1),
+	}
+	interior := index.Standard(2, n-1, 2, n-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ba.NewSchedule(interior, terms); err != nil {
 			b.Fatal(err)
 		}
 	}

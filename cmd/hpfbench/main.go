@@ -6,30 +6,77 @@
 //	hpfbench                       # run all experiments
 //	hpfbench E2 E4                 # run selected experiments
 //	hpfbench -list                 # list experiment ids and titles
+//	hpfbench -engine spmd          # run on the parallel SPMD engine
+//	hpfbench -json results.json    # emit per-experiment timings/verdicts
+//	hpfbench -speedup              # 512² Jacobi replay: sim vs spmd
 //	hpfbench -cpuprofile cpu.out   # write a pprof CPU profile
 //	hpfbench -memprofile mem.out   # write a pprof heap profile
 //
 // The profiles cover the experiment runs only, so hot-path
 // regressions in the mapping and schedule kernels can be diagnosed
-// with `go tool pprof`.
+// with `go tool pprof`. The -json output is a stable per-experiment
+// record (id, title, verdicts, wall-clock) so the bench trajectory
+// (BENCH_*.json) can be tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"hpfnt/internal/engine"
 	"hpfnt/internal/exper"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/workload"
 )
 
 var (
 	list       = flag.Bool("list", false, "list experiments without running them")
+	engineKind = flag.String("engine", engine.Default, "execution backend: sim (sequential oracle) or spmd (parallel workers)")
+	jsonOut    = flag.String("json", "", "write a JSON record of per-experiment timings and verdicts to this file (- for stdout)")
+	speedup    = flag.Bool("speedup", false, "run the 512² Jacobi schedule-replay speedup comparison (sim vs spmd)")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 )
+
+// jsonCheck mirrors exper.Check for the JSON record.
+type jsonCheck struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// jsonResult is one experiment's record.
+type jsonResult struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Passed bool        `json:"passed"`
+	WallMS float64     `json:"wall_ms"`
+	Checks []jsonCheck `json:"checks"`
+}
+
+// jsonSpeedup records the replay comparison.
+type jsonSpeedup struct {
+	N       int     `json:"n"`
+	NP      int     `json:"np"`
+	Iters   int     `json:"iters"`
+	SimMS   float64 `json:"sim_ms"`
+	SpmdMS  float64 `json:"spmd_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// jsonRecord is the full -json payload.
+type jsonRecord struct {
+	Engine      string       `json:"engine"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Experiments []jsonResult `json:"experiments"`
+	Speedup     *jsonSpeedup `json:"speedup,omitempty"`
+}
 
 func main() {
 	// The profile writers run in deferred calls, so the exit code is
@@ -39,6 +86,10 @@ func main() {
 
 func run() int {
 	flag.Parse()
+	if err := engine.SetDefault(*engineKind); err != nil {
+		fmt.Fprintf(os.Stderr, "hpfbench: %v\n", err)
+		return 1
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -89,16 +140,43 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "hpfbench: unknown experiment id among %v (see -list)\n", flag.Args())
 		return 1
 	}
-	results, err := exper.Run(sel)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpfbench: %v\n", err)
-		return 1
-	}
+	record := jsonRecord{Engine: engine.Default, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	failed := 0
-	for _, r := range results {
+	for _, e := range exper.Registry() {
+		if len(sel) > 0 && !sel[e.ID] {
+			continue
+		}
+		start := time.Now()
+		r, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfbench: %s: %v\n", e.ID, err)
+			return 1
+		}
+		wall := time.Since(start)
 		fmt.Println(r.Render())
 		if !r.Passed() {
 			failed++
+		}
+		jr := jsonResult{ID: r.ID, Title: r.Title, Passed: r.Passed(), WallMS: float64(wall.Microseconds()) / 1000}
+		for _, c := range r.Checks {
+			jr.Checks = append(jr.Checks, jsonCheck{Name: c.Name, Pass: c.Pass, Detail: c.Detail})
+		}
+		record.Experiments = append(record.Experiments, jr)
+	}
+	if *speedup {
+		sp, err := runSpeedup()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfbench: -speedup: %v\n", err)
+			return 1
+		}
+		record.Speedup = sp
+		fmt.Printf("speedup: 512² Jacobi ×%d on %d workers: sim %.1fms, spmd %.1fms (%.2fx, GOMAXPROCS=%d)\n",
+			sp.Iters, sp.NP, sp.SimMS, sp.SpmdMS, sp.Speedup, runtime.GOMAXPROCS(0))
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, record); err != nil {
+			fmt.Fprintf(os.Stderr, "hpfbench: -json: %v\n", err)
+			return 1
 		}
 	}
 	if failed > 0 {
@@ -106,4 +184,61 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runSpeedup times the 512² row-blocked Jacobi schedule replay on
+// both backends.
+func runSpeedup() (*jsonSpeedup, error) {
+	const n, np, iters = 512, 8, 20
+	wall := func(kind string) (time.Duration, error) {
+		eng, err := engine.New(kind, np, machine.DefaultCost())
+		if err != nil {
+			return 0, err
+		}
+		defer eng.Close()
+		am, err := workload.BlockRowMapping(n, np)
+		if err != nil {
+			return 0, err
+		}
+		bm, err := workload.BlockRowMapping(n, np)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := workload.JacobiReplay(eng, n, 1, am, bm); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := workload.JacobiReplay(eng, n, iters, am, bm); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	simD, err := wall(engine.Sim)
+	if err != nil {
+		return nil, err
+	}
+	spmdD, err := wall(engine.SPMD)
+	if err != nil {
+		return nil, err
+	}
+	return &jsonSpeedup{
+		N: n, NP: np, Iters: iters,
+		SimMS:   float64(simD.Microseconds()) / 1000,
+		SpmdMS:  float64(spmdD.Microseconds()) / 1000,
+		Speedup: float64(simD) / float64(spmdD),
+	}, nil
+}
+
+// writeJSON writes the record to path ("-" for stdout).
+func writeJSON(path string, record jsonRecord) error {
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

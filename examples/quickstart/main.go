@@ -1,10 +1,13 @@
 // Quickstart: declare two arrays in the paper's directive language,
 // distribute them (BLOCK,:) over 8 processors, run a 5-point Jacobi
 // sweep under the owner-computes rule, and print the communication
-// and load report of the simulated distributed-memory machine.
+// and load report. With -engine=spmd the abstract processors become
+// real concurrent workers exchanging ghost regions over channels; the
+// values and the report are identical either way.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,12 +15,18 @@ import (
 )
 
 func main() {
+	engineKind := flag.String("engine", hpf.DefaultEngine(), "execution backend: sim or spmd")
+	flag.Parse()
+	if err := hpf.SetDefaultEngine(*engineKind); err != nil {
+		log.Fatal(err)
+	}
 	const n, np = 128, 8
 
 	prog, err := hpf.NewProgram("quickstart", np)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer prog.Close()
 	prog.SetParam("N", n)
 
 	// The whole mapping is expressed in the paper's own syntax: no
@@ -71,6 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("mapping of A:", info.Render())
-	fmt.Printf("%d Jacobi sweeps (%d ghost elements each): %s\n", sweeps, sched.GhostElements(), prog.Stats())
+	fmt.Printf("engine=%s: %d Jacobi sweeps (%d ghost elements each): %s\n",
+		prog.EngineKind(), sweeps, sched.GhostElements(), prog.Stats())
 	fmt.Printf("B(64,64) = %g, global sum = %g\n", b.At(hpf.TupleOf(64, 64)), sum)
 }

@@ -34,6 +34,7 @@ import (
 	"hpfnt/internal/core"
 	"hpfnt/internal/directive"
 	"hpfnt/internal/dist"
+	"hpfnt/internal/engine"
 	"hpfnt/internal/index"
 	"hpfnt/internal/inquiry"
 	"hpfnt/internal/machine"
@@ -105,6 +106,11 @@ const (
 	Implicit     = core.DummyImplicit
 )
 
+// DefaultCost returns the machine's default cost model (early-90s
+// message-passing weights), for use with NewProgramCost and
+// NewProgramEngine.
+func DefaultCost() CostModel { return machine.DefaultCost() }
+
 // TupleOf builds an index tuple.
 func TupleOf(vals ...int) Tuple { return Tuple(vals) }
 
@@ -120,43 +126,72 @@ func Shape(bounds ...int) Domain { return index.Standard(bounds...) }
 
 // Program is a complete template-free HPF program: a processor
 // system, a main program unit with its alignment forest, a directive
-// interpreter, and a simulated machine.
+// interpreter, and an execution backend (the sequential simulator or
+// the parallel spmd engine — see SetDefaultEngine and
+// NewProgramEngine).
 type Program struct {
 	// Unit is the main program unit.
 	Unit *core.Unit
-	// Machine is the simulated distributed-memory machine.
+	// Machine is the backend's counter machine (the simulated
+	// distributed-memory machine on the sim backend, the aggregated
+	// per-worker counters on spmd).
 	Machine *machine.Machine
 	// Interp executes directive-language source against Unit.
 	Interp *directive.Interp
 
+	eng engine.Engine
 	sys *proc.System
 }
 
+// SetDefaultEngine selects the execution backend ("sim" or "spmd")
+// for subsequently created programs and workload sweeps. The initial
+// default comes from the HPFNT_ENGINE environment variable (falling
+// back to "sim").
+func SetDefaultEngine(kind string) error { return engine.SetDefault(kind) }
+
+// DefaultEngine reports the current default execution backend.
+func DefaultEngine() string { return engine.Default }
+
 // NewProgram creates a program over np abstract processors with the
-// default cost model.
+// default cost model, on the default execution backend.
 func NewProgram(name string, np int) (*Program, error) {
 	return NewProgramCost(name, np, machine.DefaultCost())
 }
 
 // NewProgramCost creates a program with an explicit machine cost
-// model.
+// model, on the default execution backend.
 func NewProgramCost(name string, np int, cost machine.CostModel) (*Program, error) {
+	return NewProgramEngine(name, engine.Default, np, cost)
+}
+
+// NewProgramEngine creates a program on an explicit execution
+// backend ("sim" or "spmd").
+func NewProgramEngine(name, kind string, np int, cost machine.CostModel) (*Program, error) {
 	sys, err := proc.NewSystem(np)
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(np, cost)
+	eng, err := engine.New(kind, np, cost)
 	if err != nil {
 		return nil, err
 	}
 	unit := core.NewUnit(name, sys)
 	return &Program{
 		Unit:    unit,
-		Machine: m,
+		Machine: eng.Machine(),
 		Interp:  directive.New(unit),
+		eng:     eng,
 		sys:     sys,
 	}, nil
 }
+
+// EngineKind reports the program's execution backend.
+func (p *Program) EngineKind() string { return p.eng.Kind() }
+
+// Close releases the backend's resources (the spmd engine's worker
+// goroutines). Programs dropped without Close are cleaned up by a
+// finalizer; Close is for deterministic shutdown.
+func (p *Program) Close() error { return p.eng.Close() }
 
 // EnableTemplates attaches the HPF baseline template model (package
 // template), enabling TEMPLATE directives for comparison experiments.
@@ -238,17 +273,17 @@ func (p *Program) Inquire(name string) (MappingInfo, error) {
 }
 
 // NewArray materializes a distributed runtime array for a declared
-// array.
+// array, on the program's execution backend.
 func (p *Program) NewArray(name string) (*DistArray, error) {
 	m, err := p.MappingOf(name)
 	if err != nil {
 		return nil, err
 	}
-	a, err := runtime.NewArray(name, m)
+	a, err := p.eng.NewArray(name, m)
 	if err != nil {
 		return nil, err
 	}
-	return &DistArray{Array: a, prog: p}, nil
+	return &DistArray{arr: a, prog: p}, nil
 }
 
 // Call enters a procedure (§7).
@@ -257,45 +292,74 @@ func (p *Program) Call(procName string, dummies []DummySpec, actuals []Actual) (
 }
 
 // Stats snapshots the machine counters.
-func (p *Program) Stats() Report { return p.Machine.Stats() }
+func (p *Program) Stats() Report { return p.eng.Stats() }
 
 // ResetStats clears the machine counters.
-func (p *Program) ResetStats() { p.Machine.Reset() }
+func (p *Program) ResetStats() { p.eng.Reset() }
 
-// DistArray is a distributed runtime array bound to its program.
+// DistArray is a distributed array bound to its program's execution
+// backend.
 type DistArray struct {
-	*runtime.Array
+	arr  engine.Array
 	prog *Program
 }
+
+// Name returns the array's name.
+func (a *DistArray) Name() string { return a.arr.Name() }
+
+// Fill initializes every element from fn. fn must be pure: the spmd
+// backend evaluates it concurrently, once per replica.
+func (a *DistArray) Fill(fn func(Tuple) float64) { a.arr.Fill(fn) }
+
+// At reads the element at tuple t.
+func (a *DistArray) At(t Tuple) float64 { return a.arr.At(t) }
+
+// Set writes the element at tuple t.
+func (a *DistArray) Set(t Tuple, v float64) { a.arr.Set(t, v) }
+
+// Data exposes the dense column-major global values, for
+// verification.
+func (a *DistArray) Data() []float64 { return a.arr.Data() }
+
+// Mapping returns the array's element mapping.
+func (a *DistArray) Mapping() Mapping { return a.arr.Mapping() }
+
+// Replicated reports whether any element has more than one owner.
+func (a *DistArray) Replicated() bool { return a.arr.Replicated() }
 
 // Assign executes lhs(t) = Σ coeff·src(t+shift) over region under the
 // owner-computes rule, charging the program's machine.
 func (a *DistArray) Assign(region Domain, terms ...AssignTerm) error {
-	rts := make([]runtime.Term, len(terms))
+	return a.arr.Assign(region, a.prog.terms(terms))
+}
+
+// terms converts facade terms to backend terms.
+func (p *Program) terms(terms []AssignTerm) []engine.Term {
+	rts := make([]engine.Term, len(terms))
 	for i, t := range terms {
-		rts[i] = runtime.Term{Src: t.Src.Array, Shift: t.Shift, Coeff: t.Coeff}
+		rts[i] = engine.Term{Src: t.Src.arr, Shift: t.Shift, Coeff: t.Coeff}
 	}
-	return runtime.ShiftAssign(a.prog.Machine, a.Array, region, rts)
+	return rts
 }
 
 // Remap moves the array to the mapping currently recorded for it in
 // the program (after a REDISTRIBUTE/REALIGN directive), returning the
 // number of elements moved.
 func (a *DistArray) Remap() (int, error) {
-	m, err := a.prog.MappingOf(a.Name)
+	m, err := a.prog.MappingOf(a.Name())
 	if err != nil {
 		return 0, err
 	}
-	return runtime.Remap(a.prog.Machine, a.Array, m)
+	return a.arr.Remap(m)
 }
 
 // RemapTo moves the array to an explicit mapping.
 func (a *DistArray) RemapTo(m Mapping) (int, error) {
-	return runtime.Remap(a.prog.Machine, a.Array, m)
+	return a.arr.Remap(m)
 }
 
 // Shape returns the array's index domain.
-func (a *DistArray) Shape() Domain { return a.Array.Dom }
+func (a *DistArray) Shape() Domain { return a.arr.Domain() }
 
 // AssignTerm is one right-hand-side reference of Assign.
 type AssignTerm struct {
@@ -322,37 +386,39 @@ const (
 // Reduce computes a global reduction of the array, charging the
 // standard tree-combine communication to the program's machine.
 func (a *DistArray) Reduce(op ReduceOp) (float64, error) {
-	return runtime.Reduce(a.prog.Machine, a.Array, op)
+	return a.arr.Reduce(op)
 }
 
 // Schedule is a reusable communication schedule for an iterated
 // stencil statement (overlap / ghost-region exchange). Build it once
 // with NewSchedule, then Run it each iteration.
 type Schedule struct {
-	s    *runtime.Schedule
-	prog *Program
+	s engine.Schedule
 }
 
 // NewSchedule precomputes the communication schedule of
 // lhs(region) = Σ terms. Rebuild after any remapping of the involved
 // arrays.
 func (a *DistArray) NewSchedule(region Domain, terms ...AssignTerm) (*Schedule, error) {
-	rts := make([]runtime.Term, len(terms))
-	for i, t := range terms {
-		rts[i] = runtime.Term{Src: t.Src.Array, Shift: t.Shift, Coeff: t.Coeff}
-	}
-	s, err := runtime.BuildSchedule(a.Array, region, rts)
+	s, err := a.arr.NewSchedule(region, a.prog.terms(terms))
 	if err != nil {
 		return nil, err
 	}
-	return &Schedule{s: s, prog: a.prog}, nil
+	return &Schedule{s: s}, nil
 }
 
 // Run replays the exchange and computes the statement once.
-func (s *Schedule) Run() error { return s.s.Execute(s.prog.Machine) }
+func (s *Schedule) Run() error { return s.s.Execute() }
+
+// RunN replays the statement iters times (a single engine epoch on
+// the spmd backend).
+func (s *Schedule) RunN(iters int) error { return s.s.ExecuteN(iters) }
 
 // GhostElements reports the per-iteration overlap traffic.
 func (s *Schedule) GhostElements() int { return s.s.GhostElements() }
+
+// Messages reports the aggregated messages per execution.
+func (s *Schedule) Messages() int { return s.s.Messages() }
 
 // INDIRECT returns a user-defined (indirect) distribution format from
 // a 1-based owner vector (one entry per index). It errors on invalid
@@ -371,9 +437,9 @@ type MixedTerm struct {
 // AssignMixed executes lhs(t) = Σ coeff·src(map(t)) over region under
 // the owner-computes rule.
 func (a *DistArray) AssignMixed(region Domain, terms []MixedTerm) error {
-	rts := make([]runtime.GeneralTerm, len(terms))
+	rts := make([]engine.GeneralTerm, len(terms))
 	for i, t := range terms {
-		rts[i] = runtime.GeneralTerm{Src: t.Src.Array, Coeff: t.Coeff, Map: t.Map}
+		rts[i] = engine.GeneralTerm{Src: t.Src.arr, Coeff: t.Coeff, Map: t.Map}
 	}
-	return runtime.GeneralAssign(a.prog.Machine, a.Array, region, rts)
+	return a.arr.AssignGeneral(region, rts)
 }

@@ -350,3 +350,122 @@ func TestIndirectThroughFacade(t *testing.T) {
 		t.Fatal("invalid owner vector must fail")
 	}
 }
+
+// runJacobiProgram is TestQuickstartFlow's core, parameterized by
+// backend, returning the computed checksum and the machine report.
+func runJacobiProgram(t *testing.T, kind string) (float64, Report) {
+	t.Helper()
+	prog, err := NewProgramEngine("both", kind, 8, DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prog.Close()
+	prog.SetParam("N", 32)
+	err = prog.Exec(`
+		PROCESSORS P(8)
+		REAL A(1:N,1:N), B(1:N,1:N)
+		!HPF$ DISTRIBUTE (BLOCK,:) TO P :: A, B
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := prog.NewArray("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prog.NewArray("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(func(tu Tuple) float64 { return float64(tu[0]*3 + tu[1]) })
+	sched, err := b.NewSchedule(Shape(2, 31, 2, 31),
+		Read(a, 0.25, -1, 0), Read(a, 0.25, 1, 0),
+		Read(a, 0.25, 0, -1), Read(a, 0.25, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.RunN(4); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := b.Reduce(Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, prog.Stats()
+}
+
+// TestEnginesProduceIdenticalResults runs the same program on both
+// backends and requires identical values and statistics.
+func TestEnginesProduceIdenticalResults(t *testing.T) {
+	simSum, simRep := runJacobiProgram(t, "sim")
+	spmdSum, spmdRep := runJacobiProgram(t, "spmd")
+	if simSum != spmdSum {
+		t.Fatalf("sums differ: sim %g, spmd %g", simSum, spmdSum)
+	}
+	if simRep != spmdRep {
+		t.Fatalf("reports differ:\n sim  %+v\n spmd %+v", simRep, spmdRep)
+	}
+}
+
+// TestReplicatedRemapSpreadsSenders remaps a partially replicated
+// array (ALIGN A(:) WITH D(:,*)) to a direct block mapping on both
+// backends: moved counts and statistics must match, and the remap
+// traffic must originate from more than one replica holder (the
+// per-destination sender choice).
+func TestReplicatedRemapSpreadsSenders(t *testing.T) {
+	run := func(kind string) (int, Report, int) {
+		prog, err := NewProgramEngine("repremap", kind, 8, DefaultCost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer prog.Close()
+		err = prog.Exec(`
+			PROCESSORS G(2,4)
+			PROCESSORS Q(8)
+			REAL D(16,8), A(16), B(16)
+			!HPF$ DISTRIBUTE D(BLOCK,BLOCK) TO G
+			!HPF$ ALIGN A(:) WITH D(:,*)
+			!HPF$ DISTRIBUTE B(CYCLIC) TO Q
+		`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := prog.NewArray("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Replicated() {
+			t.Fatal("A must be replicated across the collapsed grid dimension")
+		}
+		a.Fill(func(tu Tuple) float64 { return float64(tu[0] * 4) })
+		bm, err := prog.MappingOf("B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved, err := a.RemapTo(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 16; i++ {
+			if a.At(TupleOf(i)) != float64(i*4) {
+				t.Fatalf("%s: A(%d) changed across remap", kind, i)
+			}
+		}
+		senders := map[int]bool{}
+		for _, e := range prog.Machine.TrafficMatrix() {
+			senders[e.Src] = true
+		}
+		return moved, prog.Stats(), len(senders)
+	}
+	simMoved, simRep, simSenders := run("sim")
+	spmdMoved, spmdRep, spmdSenders := run("spmd")
+	if simMoved != spmdMoved {
+		t.Fatalf("moved: sim %d, spmd %d", simMoved, spmdMoved)
+	}
+	if simRep != spmdRep {
+		t.Fatalf("reports differ:\n sim  %+v\n spmd %+v", simRep, spmdRep)
+	}
+	if simSenders < 2 || spmdSenders < 2 {
+		t.Fatalf("remap traffic must spread over replica holders: sim %d senders, spmd %d", simSenders, spmdSenders)
+	}
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"testing"
+
+	"hpfnt/internal/core"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/proc"
+	"hpfnt/internal/runtime"
+)
+
+// scenario is one differential-test case: two mappings over the same
+// 2-D domain, a shifted statement, a schedule replay, a remap and a
+// reduction. run executes it on one backend and returns everything
+// observable; the fuzz target asserts both backends observe exactly
+// the same.
+type scenario struct {
+	np       int
+	n        int
+	f1, f2   dist.Format
+	shift    [2]int
+	srcRep   bool // use a replicated source term
+	replayIt int
+}
+
+type outcome struct {
+	errs   []string
+	data   []float64
+	moved  int
+	sum    float64
+	report machine.Report
+}
+
+func buildMapping(t *testing.T, sys *proc.System, dom index.Domain, f dist.Format) core.ElementMapping {
+	t.Helper()
+	arr, ok := sys.Lookup("P")
+	if !ok {
+		var err error
+		arr, err = sys.DeclareArray("P", index.Standard(1, sys.AP.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := dist.New(dom, []dist.Format{f, dist.Collapsed{}}, proc.Whole(arr))
+	if err != nil {
+		t.Skipf("invalid format for domain: %v", err)
+	}
+	return core.DistMapping{D: d}
+}
+
+func replicatedMapping(t *testing.T, sys *proc.System, dom index.Domain) core.ElementMapping {
+	t.Helper()
+	arr, ok := sys.Lookup("REP")
+	if !ok {
+		var err error
+		arr, err = sys.DeclareScalar("REP", proc.ScalarReplicated)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := dist.New(dom, []dist.Format{dist.Collapsed{}, dist.Collapsed{}}, proc.Whole(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.DistMapping{D: d}
+}
+
+// run executes the scenario on the given backend kind. Mapping
+// construction is shared; only the execution backend differs.
+func (sc scenario) run(t *testing.T, kind string) outcome {
+	t.Helper()
+	var out outcome
+	fail := func(err error) {
+		out.errs = append(out.errs, err.Error())
+	}
+	sys, err := proc.NewSystem(sc.np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := index.Standard(1, sc.n, 1, sc.n)
+	m1 := buildMapping(t, sys, dom, sc.f1)
+	m2 := buildMapping(t, sys, dom, sc.f2)
+	eng, err := New(kind, sc.np, machine.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	a, err := eng.NewArray("A", m1)
+	if err != nil {
+		fail(err)
+		return out
+	}
+	b, err := eng.NewArray("B", m2)
+	if err != nil {
+		fail(err)
+		return out
+	}
+	a.Fill(func(tu index.Tuple) float64 { return float64(tu[0]*13 - tu[1]*5) })
+	terms := []Term{Read(a, 0.5, 0, 0), Read(a, 1, sc.shift[0], sc.shift[1])}
+	if sc.srcRep {
+		r, err := eng.NewArray("R", replicatedMapping(t, sys, dom))
+		if err != nil {
+			fail(err)
+			return out
+		}
+		r.Fill(func(tu index.Tuple) float64 { return float64(tu[0] + 100*tu[1]) })
+		terms = append(terms, Read(r, 2, 0, 0))
+	}
+	lo0, hi0 := 1, sc.n
+	lo1, hi1 := 1, sc.n
+	if sc.shift[0] < 0 {
+		lo0 = 1 - sc.shift[0]
+	} else {
+		hi0 = sc.n - sc.shift[0]
+	}
+	if sc.shift[1] < 0 {
+		lo1 = 1 - sc.shift[1]
+	} else {
+		hi1 = sc.n - sc.shift[1]
+	}
+	if lo0 > hi0 || lo1 > hi1 {
+		return out
+	}
+	region := index.Standard(lo0, hi0, lo1, hi1)
+	if err := b.Assign(region, terms); err != nil {
+		fail(err)
+	}
+	sched, err := b.NewSchedule(region, terms)
+	if err != nil {
+		fail(err)
+	} else if err := sched.ExecuteN(sc.replayIt); err != nil {
+		fail(err)
+	}
+	moved, err := a.Remap(m2)
+	if err != nil {
+		fail(err)
+	}
+	out.moved = moved
+	sum, err := b.Reduce(runtime.ReduceSum)
+	if err != nil {
+		fail(err)
+	}
+	out.sum = sum
+	out.data = append(a.Data(), b.Data()...)
+	out.report = eng.Stats()
+	return out
+}
+
+func formatFor(sel, k uint8, n, np int) dist.Format {
+	switch sel % 5 {
+	case 0:
+		return dist.Block{}
+	case 1:
+		return dist.BlockVienna{}
+	case 2:
+		return dist.Cyclic{K: int(k%5) + 1}
+	case 3:
+		bounds := make([]int, np-1)
+		for i := range bounds {
+			b := (i + 1) * n / np
+			b += int(k) % 3
+			if b > n {
+				b = n
+			}
+			if i > 0 && b < bounds[i-1] {
+				b = bounds[i-1]
+			}
+			bounds[i] = b
+		}
+		return dist.GeneralBlock{Bounds: bounds}
+	default:
+		owner := make([]int, n)
+		x := uint32(k)*2654435761 + 1
+		for i := range owner {
+			x = x*1664525 + 1013904223
+			owner[i] = int(x>>16)%np + 1
+		}
+		f, err := dist.NewIndirect(owner)
+		if err != nil {
+			return dist.Block{}
+		}
+		return f
+	}
+}
+
+// FuzzEngineEquivalence is the differential fuzz target of the spmd
+// engine against the sequential oracle: for random formats, shifts,
+// replicated sources and remaps, both backends must produce identical
+// array values, identical remap counts, identical reduction results
+// and an identical machine.Report.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(uint8(4), uint8(12), uint8(0), uint8(2), uint8(0), uint8(1), uint8(2), false)
+	f.Add(uint8(3), uint8(9), uint8(2), uint8(4), uint8(3), uint8(3), uint8(3), false)
+	f.Add(uint8(5), uint8(16), uint8(4), uint8(1), uint8(7), uint8(2), uint8(0), true)
+	f.Add(uint8(2), uint8(7), uint8(3), uint8(0), uint8(1), uint8(4), uint8(2), false)
+	f.Add(uint8(6), uint8(10), uint8(1), uint8(4), uint8(9), uint8(2), uint8(2), true)
+	f.Fuzz(func(t *testing.T, npB, nB, sel1, sel2, k, sh0, sh1 uint8, srcRep bool) {
+		np := int(npB%7) + 2
+		n := int(nB%20) + 4
+		sc := scenario{
+			np:       np,
+			n:        n,
+			f1:       formatFor(sel1, k, n, np),
+			f2:       formatFor(sel2, k+1, n, np),
+			shift:    [2]int{int(sh0%5) - 2, int(sh1%5) - 2},
+			srcRep:   srcRep,
+			replayIt: 2,
+		}
+		sim := sc.run(t, Sim)
+		spmd := sc.run(t, SPMD)
+		if len(sim.errs) != len(spmd.errs) {
+			t.Fatalf("error mismatch: sim %v, spmd %v", sim.errs, spmd.errs)
+		}
+		if len(sim.errs) > 0 {
+			return
+		}
+		if sim.moved != spmd.moved {
+			t.Fatalf("moved: sim %d, spmd %d", sim.moved, spmd.moved)
+		}
+		if sim.sum != spmd.sum {
+			t.Fatalf("reduce: sim %g, spmd %g", sim.sum, spmd.sum)
+		}
+		if len(sim.data) != len(spmd.data) {
+			t.Fatalf("data length: sim %d, spmd %d", len(sim.data), len(spmd.data))
+		}
+		for i := range sim.data {
+			if sim.data[i] != spmd.data[i] {
+				t.Fatalf("value mismatch at %d: sim %g, spmd %g", i, sim.data[i], spmd.data[i])
+			}
+		}
+		if sim.report != spmd.report {
+			t.Fatalf("report mismatch:\n sim  %+v\n spmd %+v", sim.report, spmd.report)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Package engine selects between the execution backends of the
+// runtime: the sequential simulator (package runtime driving a
+// machine.Machine, kind "sim") and the parallel SPMD engine (package
+// spmd, kind "spmd"). Both implement the same Engine/Array/Schedule
+// interfaces, compute identical array values and report identical
+// machine statistics — the sequential backend is the oracle the
+// parallel one is differentially tested against (see the fuzz target
+// in this package).
+//
+// The process-wide default backend is "sim"; it can be switched with
+// the HPFNT_ENGINE environment variable or by assigning Default
+// before programs are built (cmd/hpfbench does so for its -engine
+// flag).
+package engine
+
+import (
+	"fmt"
+	"os"
+
+	"hpfnt/internal/core"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/runtime"
+)
+
+// The backend kinds.
+const (
+	// Sim is the sequential owner-computes simulator (the oracle).
+	Sim = "sim"
+	// SPMD is the parallel engine: one worker goroutine per abstract
+	// processor, local-only storage, channel-based ghost exchange.
+	SPMD = "spmd"
+)
+
+// EnvVar names the environment variable consulted for the default
+// backend at process start.
+const EnvVar = "HPFNT_ENGINE"
+
+// Default is the backend kind used by NewDefault (and therefore by
+// hpf.NewProgram and the workload sweeps). It initializes from
+// HPFNT_ENGINE, falling back to "sim".
+var Default = defaultKind()
+
+func defaultKind() string {
+	if v := os.Getenv(EnvVar); v != "" {
+		return v
+	}
+	return Sim
+}
+
+// Kinds lists the available backend kinds.
+func Kinds() []string { return []string{Sim, SPMD} }
+
+// SetDefault validates kind and installs it as the process-wide
+// default backend.
+func SetDefault(kind string) error {
+	for _, k := range Kinds() {
+		if k == kind {
+			Default = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: unknown backend %q (have %v)", kind, Kinds())
+}
+
+// ReduceOp selects a reduction operator (shared with the runtime).
+type ReduceOp = runtime.ReduceOp
+
+// Term is one right-hand-side reference Coeff · Src(t + Shift).
+type Term struct {
+	Src   Array
+	Shift []int
+	Coeff float64
+}
+
+// Read builds a shifted reference term.
+func Read(src Array, coeff float64, shift ...int) Term {
+	return Term{Src: src, Shift: shift, Coeff: coeff}
+}
+
+// GeneralTerm is a reference Coeff · Src(Map(t)) with an arbitrary
+// (possibly rank-changing) index mapping.
+type GeneralTerm struct {
+	Src   Array
+	Coeff float64
+	Map   func(index.Tuple) index.Tuple
+}
+
+// Engine is an execution backend: it materializes distributed arrays
+// and owns the machine counters their operations charge.
+type Engine interface {
+	// Kind reports the backend kind ("sim" or "spmd").
+	Kind() string
+	// NP reports the abstract processor count.
+	NP() int
+	// Machine exposes the backend's counter machine.
+	Machine() *machine.Machine
+	// NewArray materializes a zeroed distributed array.
+	NewArray(name string, m core.ElementMapping) (Array, error)
+	// Stats snapshots the counters.
+	Stats() machine.Report
+	// Reset clears the counters.
+	Reset()
+	// Close releases backend resources (worker goroutines).
+	Close() error
+}
+
+// Array is a distributed array on some backend. All arrays in one
+// statement must come from the same engine.
+type Array interface {
+	Name() string
+	Domain() index.Domain
+	Mapping() core.ElementMapping
+	Replicated() bool
+	// Fill initializes every element from fn (which must be pure: the
+	// spmd backend evaluates it concurrently, once per replica).
+	Fill(fn func(index.Tuple) float64)
+	At(t index.Tuple) float64
+	Set(t index.Tuple, v float64)
+	// Data materializes the dense column-major global values, for
+	// verification.
+	Data() []float64
+	// Assign executes lhs(t) = Σ coeff·src(t+shift) over region under
+	// the owner-computes rule.
+	Assign(region index.Domain, terms []Term) error
+	// AssignGeneral is Assign with arbitrary per-term index mappings.
+	AssignGeneral(region index.Domain, terms []GeneralTerm) error
+	// NewSchedule precompiles the statement's communication schedule.
+	NewSchedule(region index.Domain, terms []Term) (Schedule, error)
+	// Remap moves the array to a new element mapping, returning the
+	// number of elements moved.
+	Remap(newMap core.ElementMapping) (int, error)
+	// Reduce computes a global reduction.
+	Reduce(op ReduceOp) (float64, error)
+}
+
+// Schedule is a precompiled, replayable communication schedule.
+type Schedule interface {
+	Execute() error
+	// ExecuteN replays the schedule iters times (one engine epoch on
+	// the spmd backend, a plain loop on sim).
+	ExecuteN(iters int) error
+	GhostElements() int
+	Messages() int
+}
+
+// New creates a backend of the given kind with np abstract processors
+// and the given cost model.
+func New(kind string, np int, cost machine.CostModel) (Engine, error) {
+	switch kind {
+	case Sim:
+		return newSim(np, cost)
+	case SPMD:
+		return newSPMD(np, cost)
+	default:
+		return nil, fmt.Errorf("engine: unknown backend %q (have %v)", kind, Kinds())
+	}
+}
+
+// NewDefault creates a backend of the Default kind.
+func NewDefault(np int, cost machine.CostModel) (Engine, error) {
+	return New(Default, np, cost)
+}

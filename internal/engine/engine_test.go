@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/proc"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("nope", 4, machine.DefaultCost()); err == nil {
+		t.Fatal("unknown backend must fail")
+	}
+	if _, err := New(Sim, 0, machine.DefaultCost()); err == nil {
+		t.Fatal("np=0 must fail on sim")
+	}
+	if _, err := New(SPMD, 0, machine.DefaultCost()); err == nil {
+		t.Fatal("np=0 must fail on spmd")
+	}
+	if len(Kinds()) != 2 {
+		t.Fatalf("kinds = %v", Kinds())
+	}
+}
+
+func TestBackendsAgreeOnBasics(t *testing.T) {
+	for _, kind := range Kinds() {
+		eng, err := New(kind, 4, machine.DefaultCost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.Kind() != kind || eng.NP() != 4 || eng.Machine() == nil {
+			t.Fatalf("%s: bad identity", kind)
+		}
+		sys, _ := proc.NewSystem(4)
+		m := buildMapping(t, sys, index.Standard(1, 16, 1, 4), dist.Block{})
+		a, err := eng.NewArray("A", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != "A" || a.Replicated() || a.Mapping() != m {
+			t.Fatalf("%s: bad array identity", kind)
+		}
+		a.Fill(func(tu index.Tuple) float64 { return float64(tu[0] + tu[1]) })
+		a.Set(index.Tuple{3, 2}, 99)
+		if a.At(index.Tuple{3, 2}) != 99 {
+			t.Fatalf("%s: Set/At roundtrip failed", kind)
+		}
+		if got := len(a.Data()); got != 64 {
+			t.Fatalf("%s: Data length %d", kind, got)
+		}
+		eng.Reset()
+		if eng.Stats().Messages != 0 {
+			t.Fatalf("%s: Reset failed", kind)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrossBackendTermsRejected(t *testing.T) {
+	sim, _ := New(Sim, 2, machine.DefaultCost())
+	spmd, _ := New(SPMD, 2, machine.DefaultCost())
+	defer spmd.Close()
+	sys, _ := proc.NewSystem(2)
+	m := buildMapping(t, sys, index.Standard(1, 8, 1, 2), dist.Block{})
+	a, _ := sim.NewArray("A", m)
+	b, _ := spmd.NewArray("B", m)
+	if err := b.Assign(b.Domain(), []Term{Read(a, 1, 0, 0)}); err == nil {
+		t.Fatal("sim-array term on spmd lhs must fail")
+	}
+	if err := a.Assign(a.Domain(), []Term{Read(b, 1, 0, 0)}); err == nil {
+		t.Fatal("spmd-array term on sim lhs must fail")
+	}
+}
+
+// TestStaleScheduleRejectedAfterRemap pins the invalidation contract
+// on both backends: replaying a schedule built before a remap of any
+// involved array must fail loudly, not silently compute against stale
+// layouts.
+func TestStaleScheduleRejectedAfterRemap(t *testing.T) {
+	for _, kind := range Kinds() {
+		eng, err := New(kind, 4, machine.DefaultCost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		sys, _ := proc.NewSystem(4)
+		dom := index.Standard(1, 16, 1, 4)
+		a, err := eng.NewArray("A", buildMapping(t, sys, dom, dist.Block{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eng.NewArray("B", buildMapping(t, sys, dom, dist.Block{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Fill(func(tu index.Tuple) float64 { return float64(tu[0]) })
+		region := index.Standard(2, 16, 1, 4)
+		sched, err := b.NewSchedule(region, []Term{Read(a, 1, -1, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Execute(); err != nil {
+			t.Fatalf("%s: fresh schedule must run: %v", kind, err)
+		}
+		if _, err := a.Remap(buildMapping(t, sys, dom, dist.Cyclic{K: 2})); err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Execute(); err == nil {
+			t.Fatalf("%s: stale schedule after remap of a source must be rejected", kind)
+		}
+		// Remap of the lhs invalidates too.
+		sched2, err := b.NewSchedule(region, []Term{Read(a, 1, -1, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Remap(buildMapping(t, sys, dom, dist.Cyclic{K: 3})); err != nil {
+			t.Fatal(err)
+		}
+		if err := sched2.ExecuteN(2); err == nil {
+			t.Fatalf("%s: stale schedule after remap of the lhs must be rejected", kind)
+		}
+	}
+}

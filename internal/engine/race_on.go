@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// RaceEnabled reports whether the race detector instruments this
+// build (used to skip wall-clock assertions under -race).
+const RaceEnabled = true

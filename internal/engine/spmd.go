@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+
+	"hpfnt/internal/core"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/spmd"
+)
+
+// spmdEngine adapts the parallel SPMD engine to the backend
+// interface.
+type spmdEngine struct {
+	e *spmd.Engine
+}
+
+func newSPMD(np int, cost machine.CostModel) (Engine, error) {
+	e, err := spmd.New(np, cost)
+	if err != nil {
+		return nil, err
+	}
+	return &spmdEngine{e: e}, nil
+}
+
+func (e *spmdEngine) Kind() string              { return SPMD }
+func (e *spmdEngine) NP() int                   { return e.e.NP() }
+func (e *spmdEngine) Machine() *machine.Machine { return e.e.Machine() }
+func (e *spmdEngine) Stats() machine.Report     { return e.e.Stats() }
+func (e *spmdEngine) Reset()                    { e.e.Reset() }
+func (e *spmdEngine) Close() error              { return e.e.Close() }
+
+func (e *spmdEngine) NewArray(name string, m core.ElementMapping) (Array, error) {
+	a, err := e.e.NewArray(name, m)
+	if err != nil {
+		return nil, err
+	}
+	return &spmdArray{eng: e, a: a}, nil
+}
+
+type spmdArray struct {
+	eng *spmdEngine
+	a   *spmd.Array
+}
+
+func (x *spmdArray) Name() string                      { return x.a.Name() }
+func (x *spmdArray) Domain() index.Domain              { return x.a.Domain() }
+func (x *spmdArray) Mapping() core.ElementMapping      { return x.a.Mapping() }
+func (x *spmdArray) Replicated() bool                  { return x.a.Replicated() }
+func (x *spmdArray) Fill(fn func(index.Tuple) float64) { x.a.Fill(fn) }
+func (x *spmdArray) At(t index.Tuple) float64          { return x.a.At(t) }
+func (x *spmdArray) Set(t index.Tuple, v float64)      { x.a.Set(t, v) }
+func (x *spmdArray) Data() []float64                   { return x.a.Data() }
+
+func (x *spmdArray) terms(ts []Term) ([]spmd.Term, error) {
+	out := make([]spmd.Term, len(ts))
+	for i, t := range ts {
+		sa, ok := t.Src.(*spmdArray)
+		if !ok || sa.eng != x.eng {
+			return nil, fmt.Errorf("engine: term source %s is not on this spmd engine", t.Src.Name())
+		}
+		out[i] = spmd.Term{Src: sa.a, Shift: t.Shift, Coeff: t.Coeff}
+	}
+	return out, nil
+}
+
+func (x *spmdArray) Assign(region index.Domain, ts []Term) error {
+	sts, err := x.terms(ts)
+	if err != nil {
+		return err
+	}
+	return x.eng.e.ShiftAssign(x.a, region, sts)
+}
+
+func (x *spmdArray) AssignGeneral(region index.Domain, ts []GeneralTerm) error {
+	out := make([]spmd.GeneralTerm, len(ts))
+	for i, t := range ts {
+		sa, ok := t.Src.(*spmdArray)
+		if !ok || sa.eng != x.eng {
+			return fmt.Errorf("engine: term source %s is not on this spmd engine", t.Src.Name())
+		}
+		out[i] = spmd.GeneralTerm{Src: sa.a, Coeff: t.Coeff, Map: t.Map}
+	}
+	return x.eng.e.GeneralAssign(x.a, region, out)
+}
+
+func (x *spmdArray) NewSchedule(region index.Domain, ts []Term) (Schedule, error) {
+	sts, err := x.terms(ts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := x.eng.e.BuildSchedule(x.a, region, sts)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (x *spmdArray) Remap(newMap core.ElementMapping) (int, error) {
+	return x.eng.e.Remap(x.a, newMap)
+}
+
+func (x *spmdArray) Reduce(op ReduceOp) (float64, error) {
+	return x.eng.e.Reduce(x.a, op)
+}

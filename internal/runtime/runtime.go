@@ -12,6 +12,13 @@
 // aggregated into one message per processor pair per statement
 // (message vectorization), with per-statement deduplication of
 // repeated remote elements.
+//
+// This sequential executor is also the differential-testing oracle
+// for the parallel SPMD engine (package spmd): for any statement,
+// schedule replay, remap or reduction, the spmd engine must produce
+// identical array values and identical machine statistics to this
+// package. Tests and fuzz targets in internal/engine assert that
+// equivalence.
 package runtime
 
 import (
@@ -35,6 +42,9 @@ type Array struct {
 	owners  []int32 // single-owner fast path; nil when replicated
 	repOwns [][]int // full owner sets when replicated
 	mapping core.ElementMapping
+	// gen counts remaps; schedules capture it at build time and refuse
+	// to replay against a remapped array.
+	gen int
 }
 
 // NewArray materializes a distributed array from an element mapping,
@@ -277,12 +287,31 @@ func GeneralAssign(m *machine.Machine, lhs *Array, region index.Domain, terms []
 	return nil
 }
 
+// RemapSender picks which holder of a (possibly replicated) element
+// ships it to new owner dst during a remap: destinations are spread
+// round-robin over the replica set, so a replicated source does not
+// funnel all outgoing remap traffic through its first owner. Both the
+// sequential executor and the spmd engine use this rule, keeping
+// their traffic statistics identical.
+func RemapSender(old []int, dst int) int {
+	if len(old) == 1 {
+		return old[0]
+	}
+	return old[(dst-1)%len(old)]
+}
+
 // Remap moves an array to a new element mapping, charging one
 // aggregated message per processor pair for all elements whose owner
 // set changes, and returns the number of elements moved. The values
 // are unchanged; only ownership (and therefore placement) moves. This
 // is the data movement behind REDISTRIBUTE, REALIGN and explicit
 // dummy-argument remapping (§4.2, §5.2, §7).
+//
+// When both the old and the new mapping admit a bulk owner-tile
+// decomposition, the ownership comparison runs over tile
+// intersections — O(tiles) interval arithmetic instead of a
+// per-element owner-set walk; replicated or non-bulk mappings take
+// the element path, which doubles as the oracle.
 func Remap(m *machine.Machine, a *Array, newMap core.ElementMapping) (int, error) {
 	if !newMap.Domain().Equal(a.Dom) {
 		return 0, fmt.Errorf("runtime: remap of %s to mapping over %s (have %s)", a.Name, newMap.Domain(), a.Dom)
@@ -298,28 +327,12 @@ func Remap(m *machine.Machine, a *Array, newMap core.ElementMapping) (int, error
 			return 0, fmt.Errorf("runtime: remap of %s: %w", a.Name, err)
 		}
 	}
-	moved := 0
-	pairElems := map[[2]int]int{}
-	size := a.Dom.Size()
-	for off := 0; off < size; off++ {
-		old := a.ownerSet(off)
-		var cur []int
-		if newOwners != nil {
-			cur = []int{int(newOwners[off])}
-		} else {
-			cur = newRep[off]
-		}
-		anyNew := false
-		sender := old[0]
-		for _, p := range cur {
-			if !containsInt(old, p) {
-				anyNew = true
-				pairElems[[2]int{sender, p}]++
-			}
-		}
-		if anyNew {
-			moved++
-		}
+	moved, pairElems, ok := 0, map[[2]int]int{}, false
+	if a.owners != nil && newOwners != nil {
+		moved, pairElems, ok = remapTilewise(a, newMap)
+	}
+	if !ok {
+		moved, pairElems = remapElementwise(a, newOwners, newRep)
 	}
 	if m != nil {
 		for pr, n := range pairElems {
@@ -329,7 +342,75 @@ func Remap(m *machine.Machine, a *Array, newMap core.ElementMapping) (int, error
 	a.owners = newOwners
 	a.repOwns = newRep
 	a.mapping = newMap
+	a.gen++
 	return moved, nil
+}
+
+// remapTilewise compares ownership over the bulk tile decompositions:
+// each new-owner tile is re-tiled by the old mapping, and every
+// sub-tile whose owners differ contributes its whole volume to the
+// corresponding processor pair. ok = false when either mapping
+// declines bulk decomposition; the caller falls back to the element
+// walk.
+func remapTilewise(a *Array, newMap core.ElementMapping) (int, map[[2]int]int, bool) {
+	newTiles, err := core.AppendBulkOwnerTiles(nil, newMap, a.Dom)
+	if err != nil {
+		return 0, nil, false
+	}
+	moved := 0
+	pairElems := map[[2]int]int{}
+	var old []core.Tile
+	for _, nt := range newTiles {
+		old, err = core.AppendBulkOwnerTiles(old[:0], a.mapping, nt.Region)
+		if err != nil {
+			return 0, nil, false
+		}
+		for _, ot := range old {
+			if ot.Proc == nt.Proc {
+				continue
+			}
+			n := ot.Region.Size()
+			moved += n
+			pairElems[[2]int{ot.Proc, nt.Proc}] += n
+		}
+	}
+	return moved, pairElems, true
+}
+
+// remapElementwise is the per-element ownership comparison, the
+// fallback (and oracle) for replicated or non-bulk mappings.
+func remapElementwise(a *Array, newOwners []int32, newRep [][]int) (int, map[[2]int]int) {
+	moved := 0
+	pairElems := map[[2]int]int{}
+	size := a.Dom.Size()
+	var oldSingle, newSingle [1]int
+	for off := 0; off < size; off++ {
+		var old []int
+		if a.owners != nil {
+			oldSingle[0] = int(a.owners[off])
+			old = oldSingle[:]
+		} else {
+			old = a.repOwns[off]
+		}
+		var cur []int
+		if newOwners != nil {
+			newSingle[0] = int(newOwners[off])
+			cur = newSingle[:]
+		} else {
+			cur = newRep[off]
+		}
+		anyNew := false
+		for _, p := range cur {
+			if !containsInt(old, p) {
+				anyNew = true
+				pairElems[[2]int{RemapSender(old, p), p}]++
+			}
+		}
+		if anyNew {
+			moved++
+		}
+	}
+	return moved, pairElems
 }
 
 func containsInt(s []int, v int) bool {

@@ -29,6 +29,10 @@ type Schedule struct {
 	// localRefs/remoteRefs replay the reference counters.
 	localRefs  int
 	remoteRefs int
+	// arrays/gens capture the involved arrays' remap generations at
+	// build time; Execute refuses a stale schedule.
+	arrays []*Array
+	gens   []int
 }
 
 // BuildSchedule analyzes the statement lhs(region) = Σ terms once and
@@ -44,7 +48,7 @@ func BuildSchedule(lhs *Array, region index.Domain, terms []Term) (*Schedule, er
 	if err != nil {
 		return nil, err
 	}
-	return &Schedule{
+	s := &Schedule{
 		lhs:        lhs,
 		region:     region,
 		terms:      terms,
@@ -52,7 +56,25 @@ func BuildSchedule(lhs *Array, region index.Domain, terms []Term) (*Schedule, er
 		loads:      an.loads,
 		localRefs:  an.localRefs,
 		remoteRefs: an.remoteRefs,
-	}, nil
+	}
+	s.arrays = append(s.arrays, lhs)
+	for _, tm := range terms {
+		s.arrays = append(s.arrays, tm.Src)
+	}
+	for _, a := range s.arrays {
+		s.gens = append(s.gens, a.gen)
+	}
+	return s, nil
+}
+
+// checkFresh refuses replay after any involved array was remapped.
+func (s *Schedule) checkFresh() error {
+	for i, a := range s.arrays {
+		if a.gen != s.gens[i] {
+			return fmt.Errorf("runtime: schedule over %s invalidated by remap; rebuild it", a.Name)
+		}
+	}
+	return nil
 }
 
 // GhostElements reports the total number of elements exchanged per
@@ -72,6 +94,9 @@ func (s *Schedule) Messages() int { return len(s.pairElems) }
 // statement's values (simultaneous-assignment semantics). A nil
 // machine computes values only.
 func (s *Schedule) Execute(m *machine.Machine) error {
+	if err := s.checkFresh(); err != nil {
+		return err
+	}
 	if m != nil {
 		for pr, n := range s.pairElems {
 			m.Send(pr[0], pr[1], n)

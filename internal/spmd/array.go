@@ -1,0 +1,225 @@
+package spmd
+
+import (
+	"errors"
+	"fmt"
+
+	"hpfnt/internal/core"
+	"hpfnt/internal/dist"
+	"hpfnt/internal/index"
+)
+
+// store is one worker's local segment of an array: the global offsets
+// it holds (in slot order) and the values. The layout comes from the
+// owner-tile kernel: tiles in enumeration order, column-major within
+// each tile, so block-like mappings get contiguous runs.
+type store struct {
+	offsets []int32
+	data    []float64
+}
+
+// layout is the compiled ownership/storage metadata of one mapping:
+// who owns each element and where each copy lives. It is compile-time
+// metadata only — the values themselves exist solely in the per-worker
+// stores.
+type layout struct {
+	// owners[off] is the single owner, or nil when replicated.
+	owners []int32
+	// repOwns[off] is the full owner set when replicated.
+	repOwns [][]int
+	// slotGrid[off] is the owner's slot of a single-owner element.
+	slotGrid []int32
+	// repSlot[p][off] is worker p's slot of a replicated element.
+	repSlot []map[int]int32
+	// stores[p] is worker p's segment (index 1..np).
+	stores []*store
+}
+
+// buildLayout derives the local storage layout of a mapping: the
+// single-owner tile decomposition when one exists, the replicated
+// grid otherwise.
+func buildLayout(np int, m core.ElementMapping) (*layout, error) {
+	dom := m.Domain()
+	size := dom.Size()
+	l := &layout{stores: make([]*store, np+1)}
+	for p := 1; p <= np; p++ {
+		l.stores[p] = &store{}
+	}
+	tiles, err := core.AppendOwnerTilesOf(nil, m, dom)
+	if err == nil {
+		l.owners = make([]int32, size)
+		l.slotGrid = make([]int32, size)
+		var ferr error
+		for _, tl := range tiles {
+			p := tl.Proc
+			if p < 1 || p > np {
+				return nil, fmt.Errorf("spmd: mapping owner %d out of range 1..%d", p, np)
+			}
+			st := l.stores[p]
+			tl.Region.ForEach(func(t index.Tuple) bool {
+				off, ok := dom.Offset(t)
+				if !ok {
+					ferr = fmt.Errorf("spmd: tile index %s outside domain %s", t, dom)
+					return false
+				}
+				l.owners[off] = int32(p)
+				l.slotGrid[off] = int32(len(st.offsets))
+				st.offsets = append(st.offsets, int32(off))
+				return true
+			})
+			if ferr != nil {
+				return nil, ferr
+			}
+		}
+	} else if errors.Is(err, dist.ErrMultiOwner) {
+		rg, rerr := core.ReplicatedGrid(m)
+		if rerr != nil {
+			return nil, rerr
+		}
+		l.repOwns = rg
+		l.repSlot = make([]map[int]int32, np+1)
+		for off, ps := range rg {
+			for _, p := range ps {
+				if p < 1 || p > np {
+					return nil, fmt.Errorf("spmd: mapping owner %d out of range 1..%d", p, np)
+				}
+				if l.repSlot[p] == nil {
+					l.repSlot[p] = map[int]int32{}
+				}
+				st := l.stores[p]
+				l.repSlot[p][off] = int32(len(st.offsets))
+				st.offsets = append(st.offsets, int32(off))
+			}
+		}
+	} else {
+		return nil, err
+	}
+	for p := 1; p <= np; p++ {
+		st := l.stores[p]
+		st.data = make([]float64, len(st.offsets))
+	}
+	return l, nil
+}
+
+// Array is a distributed array on the spmd engine: per-worker local
+// segments only, plus the compiled ownership metadata used by the
+// schedule compiler and the element accessors.
+type Array struct {
+	name    string
+	dom     index.Domain
+	mapping core.ElementMapping
+	eng     *Engine
+	lay     *layout
+	// gen counts remaps; schedules capture it at build time and
+	// refuse to replay against a remapped array (their compiled plans
+	// point into the pre-remap stores).
+	gen int
+}
+
+// NewArray materializes a zero-initialized distributed array with
+// local-only storage laid out from the mapping's owner tiles.
+func (e *Engine) NewArray(name string, m core.ElementMapping) (*Array, error) {
+	l, err := buildLayout(e.np, m)
+	if err != nil {
+		return nil, fmt.Errorf("spmd: materializing %s: %w", name, err)
+	}
+	return &Array{name: name, dom: m.Domain(), mapping: m, eng: e, lay: l}, nil
+}
+
+// Name returns the array name.
+func (a *Array) Name() string { return a.name }
+
+// Domain returns the array's index domain.
+func (a *Array) Domain() index.Domain { return a.dom }
+
+// Mapping returns the array's element mapping.
+func (a *Array) Mapping() core.ElementMapping { return a.mapping }
+
+// Replicated reports whether any element has more than one owner.
+func (a *Array) Replicated() bool { return a.lay.owners == nil }
+
+// appendOwners appends the owner set of the element at offset off.
+func (l *layout) appendOwners(dst []int, off int) []int {
+	if l.owners != nil {
+		return append(dst, int(l.owners[off]))
+	}
+	return append(dst, l.repOwns[off]...)
+}
+
+// firstOwner returns the first owner of the element at offset off.
+func (l *layout) firstOwner(off int) int {
+	if l.owners != nil {
+		return int(l.owners[off])
+	}
+	return l.repOwns[off][0]
+}
+
+// ownedBy reports whether worker p holds the element at offset off.
+func (l *layout) ownedBy(off, p int) bool {
+	if l.owners != nil {
+		return int(l.owners[off]) == p
+	}
+	for _, o := range l.repOwns[off] {
+		if o == p {
+			return true
+		}
+	}
+	return false
+}
+
+// slotOf returns worker p's slot of the element at offset off; p must
+// own the element.
+func (l *layout) slotOf(p, off int) int32 {
+	if l.owners != nil {
+		return l.slotGrid[off]
+	}
+	return l.repSlot[p][off]
+}
+
+// At reads the element at tuple t (from its first owner's segment).
+// Only valid between engine operations.
+func (a *Array) At(t index.Tuple) float64 {
+	off, ok := a.dom.Offset(t)
+	if !ok {
+		panic(fmt.Sprintf("spmd: %s: index %s out of domain %s", a.name, t, a.dom))
+	}
+	p := a.lay.firstOwner(off)
+	return a.lay.stores[p].data[a.lay.slotOf(p, off)]
+}
+
+// Set writes the element at tuple t into every owner's copy.
+func (a *Array) Set(t index.Tuple, v float64) {
+	off, ok := a.dom.Offset(t)
+	if !ok {
+		panic(fmt.Sprintf("spmd: %s: index %s out of domain %s", a.name, t, a.dom))
+	}
+	var scratch [1]int
+	for _, p := range a.lay.appendOwners(scratch[:0], off) {
+		a.lay.stores[p].data[a.lay.slotOf(p, off)] = v
+	}
+}
+
+// Fill initializes every element from fn, each worker filling its own
+// segment concurrently. fn must be pure: replicated elements are
+// computed once per copy.
+func (a *Array) Fill(fn func(t index.Tuple) float64) {
+	lay, dom := a.lay, a.dom
+	a.eng.run(func(p int) {
+		st := lay.stores[p]
+		for k, off := range st.offsets {
+			st.data[k] = fn(dom.TupleAt(int(off)))
+		}
+	})
+}
+
+// Data materializes the dense column-major global value vector (from
+// each element's first owner), for verification against the
+// sequential oracle. It is not on any hot path.
+func (a *Array) Data() []float64 {
+	out := make([]float64, a.dom.Size())
+	for off := range out {
+		p := a.lay.firstOwner(off)
+		out[off] = a.lay.stores[p].data[a.lay.slotOf(p, off)]
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Package spmd is the parallel SPMD execution engine: the abstract
+// processors of the mapping model become real concurrent workers, one
+// goroutine per processor, each owning only the local segments of
+// every distributed array (no dense global backing on the hot path).
+// Array statements execute as compiled schedules — each worker sweeps
+// its owned tiles and exchanges ghost regions with its neighbours as
+// actual per-pair channel messages — while remaps ship whole ownership
+// changes the same way. Communication and load are counted per worker
+// and aggregated into the same machine.Report the sequential simulator
+// produces, so the two backends are differentially testable: for any
+// program the spmd engine must compute identical array values and
+// identical machine statistics to the sequential runtime, which serves
+// as its oracle (see package runtime).
+//
+// Local storage is laid out from the run-length ownership kernel
+// (core.AppendOwnerTilesOf): a worker's segment of an array is the
+// concatenation of its owner tiles in tile order, column-major within
+// each tile. Ghost exchange, load accounting and message
+// vectorization are compiled once per schedule and replayed on every
+// execution, mirroring BuildSchedule/Execute of the sequential
+// runtime.
+package spmd
+
+import (
+	"fmt"
+	gort "runtime"
+	"sync"
+
+	"hpfnt/internal/machine"
+)
+
+// Barrier is a reusable epoch barrier for a fixed number of parties.
+// Await blocks until every party has arrived, then releases them all
+// and resets for the next epoch. The engine uses one barrier of
+// NP+1 parties (the workers plus the dispatcher) to delimit epochs:
+// one dispatched operation per epoch, with all worker stores
+// quiescent between epochs.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	epoch   uint64
+}
+
+// NewBarrier creates a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic(fmt.Sprintf("spmd: barrier needs at least one party, got %d", parties))
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have arrived and returns the epoch
+// number that completed.
+func (b *Barrier) Await() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.epoch
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.epoch++
+		b.cond.Broadcast()
+		return e
+	}
+	for b.epoch == e {
+		b.cond.Wait()
+	}
+	return e
+}
+
+// Epoch reports the number of completed epochs.
+func (b *Barrier) Epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch
+}
+
+// Engine executes distributed-array operations on np concurrent
+// workers (abstract processors 1..np). Workers are spawned lazily on
+// the first dispatched operation and run until Close. All methods
+// must be called from a single client goroutine; the operations
+// themselves run concurrently across the workers.
+type Engine struct {
+	np   int
+	mach *machine.Machine
+	// statsMu guards mach: workers flush their per-operation counters
+	// into it, once per worker per epoch.
+	statsMu sync.Mutex
+
+	bar *Barrier
+	// chans[s-1][d-1] carries the aggregated messages from worker s to
+	// worker d. Capacity 1: within one epoch each ordered pair
+	// exchanges at most one in-flight message per iteration, and every
+	// worker sends all its outgoing messages before receiving, so
+	// sends never deadlock.
+	chans   [][]chan []float64
+	workers []chan func(p int)
+
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// New creates an engine with np workers and a machine with the given
+// cost model for the aggregated counters.
+func New(np int, cost machine.CostModel) (*Engine, error) {
+	m, err := machine.New(np, cost)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{np: np, mach: m, bar: NewBarrier(np + 1)}
+	e.chans = make([][]chan []float64, np)
+	for s := range e.chans {
+		e.chans[s] = make([]chan []float64, np)
+		for d := range e.chans[s] {
+			e.chans[s][d] = make(chan []float64, 1)
+		}
+	}
+	// Backstop for engines dropped without Close: the worker
+	// goroutines reference only their command channels and the
+	// barrier, never the Engine itself, so an unreachable engine is
+	// collectable and its finalizer shuts the workers down.
+	gort.SetFinalizer(e, func(e *Engine) { e.Close() })
+	return e, nil
+}
+
+// NP reports the number of workers.
+func (e *Engine) NP() int { return e.np }
+
+// Machine exposes the aggregated counter machine. Safe to read
+// between operations.
+func (e *Engine) Machine() *machine.Machine { return e.mach }
+
+// Stats snapshots the aggregated counters.
+func (e *Engine) Stats() machine.Report {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.mach.Stats()
+}
+
+// Reset clears the aggregated counters.
+func (e *Engine) Reset() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.mach.Reset()
+}
+
+// Close shuts the workers down. Idempotent; the engine must be idle.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		for _, cmd := range e.workers {
+			close(cmd)
+		}
+	})
+	return nil
+}
+
+// start spawns the worker goroutines on first use.
+func (e *Engine) start() {
+	e.startOnce.Do(func() {
+		e.workers = make([]chan func(p int), e.np)
+		for i := 0; i < e.np; i++ {
+			cmd := make(chan func(p int))
+			e.workers[i] = cmd
+			bar := e.bar
+			go func(p int) {
+				for job := range cmd {
+					job(p)
+					// Drop the closure before parking: a retained job
+					// would pin its arrays (and through them the
+					// Engine), preventing the finalizer backstop from
+					// ever collecting an unclosed engine.
+					job = nil
+					bar.Await()
+				}
+			}(i + 1)
+		}
+	})
+}
+
+// run dispatches fn to every worker as one epoch and waits on the
+// engine barrier: when run returns, every worker has completed fn and
+// all stores are quiescent.
+func (e *Engine) run(fn func(p int)) {
+	e.start()
+	for _, cmd := range e.workers {
+		cmd <- fn
+	}
+	e.bar.Await()
+}
+
+// send delivers one aggregated message from worker src to worker dst.
+func (e *Engine) send(src, dst int, msg []float64) {
+	e.chans[src-1][dst-1] <- msg
+}
+
+// recv receives the next message sent from src to dst.
+func (e *Engine) recv(src, dst int) []float64 {
+	return <-e.chans[src-1][dst-1]
+}
+
+// counters is a worker's per-operation tally, flushed into the shared
+// machine once per epoch.
+type counters struct {
+	load       int
+	localRefs  int
+	remoteRefs int
+	// sends: one entry per destination pair; msgs repeated Send calls
+	// of elems elements each (schedule replays call Send per
+	// iteration, matching the sequential executor's accounting).
+	sends []sendCount
+}
+
+type sendCount struct {
+	dst   int
+	elems int
+	msgs  int
+}
+
+// flush applies a worker's counters to the shared machine.
+func (e *Engine) flush(p int, c *counters) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if c.load > 0 {
+		e.mach.AddLoad(p, c.load)
+	}
+	e.mach.RecordLocal(c.localRefs)
+	e.mach.RecordRemote(c.remoteRefs)
+	for _, s := range c.sends {
+		for i := 0; i < s.msgs; i++ {
+			e.mach.Send(p, s.dst, s.elems)
+		}
+	}
+}

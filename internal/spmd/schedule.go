@@ -1,0 +1,374 @@
+package spmd
+
+import (
+	"fmt"
+	"sort"
+
+	"hpfnt/internal/index"
+)
+
+// Term is one right-hand-side reference Coeff * Src(t + Shift).
+type Term struct {
+	Src   *Array
+	Shift []int
+	Coeff float64
+}
+
+// Ref returns a shifted reference term.
+func Ref(src *Array, coeff float64, shift ...int) Term {
+	return Term{Src: src, Shift: shift, Coeff: coeff}
+}
+
+// GeneralTerm is a reference Coeff · Src(Map(t)) with an arbitrary
+// (possibly rank-changing) index mapping.
+type GeneralTerm struct {
+	Src   *Array
+	Coeff float64
+	Map   func(index.Tuple) index.Tuple
+}
+
+// cterm is the compiler's unified term form.
+type cterm struct {
+	src   *Array
+	coeff float64
+	shift []int
+	mapf  func(index.Tuple) index.Tuple
+}
+
+// Schedule is a compiled statement lhs(region) = Σ terms: per-worker
+// compute plans over local slots, the per-pair ghost exchange, and
+// the per-worker counter deltas. Execute replays it; the involved
+// arrays must not be remapped between executions (rebuild after
+// REDISTRIBUTE/REALIGN, as with the sequential runtime's schedules).
+type Schedule struct {
+	eng        *Engine
+	plans      []*wplan
+	ghostTotal int
+	messages   int
+	// arrays/gens capture the involved arrays' remap generations at
+	// build time; ExecuteN refuses a stale schedule (its plans index
+	// the pre-remap stores).
+	arrays []*Array
+	gens   []int
+}
+
+// wplan is one worker's share of a schedule.
+type wplan struct {
+	// Compute: for element i, tmp[i] = Σ_t coeffs[t] · ref(i,t) where
+	// refs[i*T+t] ≥ 0 indexes srcData[t] (a local read) and refs < 0
+	// encodes ghost slot -(refs+1); then lhsData[lhsSlots[i]] = tmp[i]
+	// (simultaneous-assignment semantics).
+	lhsData  []float64
+	lhsSlots []int32
+	nterms   int
+	coeffs   []float64
+	srcData  [][]float64
+	refs     []int32
+	ghost    []float64
+	tmp      []float64
+	nGhost   int
+
+	sends []sendPlan
+	recvs []recvPlan
+
+	load       int
+	localRefs  int
+	remoteRefs int
+}
+
+// sendPlan gathers this worker's owned values for one destination:
+// value i is slabs[i][slots[i]].
+type sendPlan struct {
+	dst   int
+	slabs [][]float64
+	slots []int32
+}
+
+// recvPlan scatters one sender's message into the ghost buffer.
+type recvPlan struct {
+	src     int
+	targets []int32
+}
+
+// ghostKey dedups remote reads per (source array, element, reader),
+// exactly as the sequential per-statement deduplication does.
+type ghostKey struct {
+	src *Array
+	off int
+	w   int
+}
+
+// exchange accumulates one ordered pair's ghost traffic during
+// compilation; sender gather order and receiver scatter order are two
+// views of the same list.
+type exchange struct {
+	slabs   [][]float64
+	slots   []int32
+	targets []int32
+}
+
+// BuildSchedule compiles the shift statement lhs(region) = Σ terms.
+func (e *Engine) BuildSchedule(lhs *Array, region index.Domain, terms []Term) (*Schedule, error) {
+	if region.Rank() != lhs.dom.Rank() {
+		return nil, fmt.Errorf("spmd: region rank %d does not match %s rank %d", region.Rank(), lhs.name, lhs.dom.Rank())
+	}
+	cts := make([]cterm, len(terms))
+	for i, t := range terms {
+		if t.Src.eng != e {
+			return nil, fmt.Errorf("spmd: term source %s belongs to a different engine", t.Src.name)
+		}
+		if len(t.Shift) != lhs.dom.Rank() {
+			return nil, fmt.Errorf("spmd: term over %s has shift rank %d, want %d", t.Src.name, len(t.Shift), lhs.dom.Rank())
+		}
+		cts[i] = cterm{src: t.Src, coeff: t.Coeff, shift: t.Shift}
+	}
+	return e.compile(lhs, region, cts)
+}
+
+// BuildGeneralSchedule compiles a statement with arbitrary per-term
+// index mappings.
+func (e *Engine) BuildGeneralSchedule(lhs *Array, region index.Domain, terms []GeneralTerm) (*Schedule, error) {
+	if region.Rank() != lhs.dom.Rank() {
+		return nil, fmt.Errorf("spmd: region rank %d does not match %s rank %d", region.Rank(), lhs.name, lhs.dom.Rank())
+	}
+	cts := make([]cterm, len(terms))
+	for i, t := range terms {
+		if t.Src.eng != e {
+			return nil, fmt.Errorf("spmd: term source %s belongs to a different engine", t.Src.name)
+		}
+		cts[i] = cterm{src: t.Src, coeff: t.Coeff, mapf: t.Map}
+	}
+	return e.compile(lhs, region, cts)
+}
+
+// compile walks the region once (column-major, like the sequential
+// executor) and partitions the statement into per-worker plans. The
+// local/remote classification, remote deduplication, sender choice
+// (first owner) and load charging mirror the sequential analysis
+// element for element, so the aggregated statistics are identical by
+// construction.
+func (e *Engine) compile(lhs *Array, region index.Domain, terms []cterm) (*Schedule, error) {
+	if lhs.eng != e {
+		return nil, fmt.Errorf("spmd: array %s belongs to a different engine", lhs.name)
+	}
+	T := len(terms)
+	plans := make([]*wplan, e.np+1)
+	planOf := func(p int) *wplan {
+		if plans[p] == nil {
+			wp := &wplan{nterms: T, lhsData: lhs.lay.stores[p].data}
+			wp.coeffs = make([]float64, T)
+			wp.srcData = make([][]float64, T)
+			for ti, tm := range terms {
+				wp.coeffs[ti] = tm.coeff
+				wp.srcData[ti] = tm.src.lay.stores[p].data
+			}
+			plans[p] = wp
+		}
+		return plans[p]
+	}
+	seen := map[ghostKey]int32{}
+	pairEx := map[[2]int]*exchange{}
+	ref := make(index.Tuple, lhs.dom.Rank())
+	var writers []int
+	var ferr error
+	region.ForEach(func(t index.Tuple) bool {
+		loff, ok := lhs.dom.Offset(t)
+		if !ok {
+			ferr = fmt.Errorf("spmd: region index %s outside %s domain %s", t, lhs.name, lhs.dom)
+			return false
+		}
+		writers = lhs.lay.appendOwners(writers[:0], loff)
+		for ti := range terms {
+			tm := &terms[ti]
+			var rt index.Tuple
+			if tm.mapf != nil {
+				rt = tm.mapf(t.Clone())
+			} else {
+				for d := range t {
+					ref[d] = t[d] + tm.shift[d]
+				}
+				rt = ref
+			}
+			roff, ok := tm.src.dom.Offset(rt)
+			if !ok {
+				ferr = fmt.Errorf("spmd: reference %s(%s) out of bounds in assignment to %s(%s)", tm.src.name, rt, lhs.name, t)
+				return false
+			}
+			for _, w := range writers {
+				wp := planOf(w)
+				if tm.src.lay.ownedBy(roff, w) {
+					wp.localRefs++
+					wp.refs = append(wp.refs, tm.src.lay.slotOf(w, roff))
+					continue
+				}
+				wp.remoteRefs++
+				key := ghostKey{src: tm.src, off: roff, w: w}
+				g, dup := seen[key]
+				if !dup {
+					g = int32(wp.nGhost)
+					wp.nGhost++
+					seen[key] = g
+					s := tm.src.lay.firstOwner(roff)
+					pr := [2]int{s, w}
+					ex := pairEx[pr]
+					if ex == nil {
+						ex = &exchange{}
+						pairEx[pr] = ex
+					}
+					ex.slabs = append(ex.slabs, tm.src.lay.stores[s].data)
+					ex.slots = append(ex.slots, tm.src.lay.slotOf(s, roff))
+					ex.targets = append(ex.targets, g)
+				}
+				wp.refs = append(wp.refs, -(g + 1))
+			}
+		}
+		for _, w := range writers {
+			wp := planOf(w)
+			wp.load += T
+			wp.lhsSlots = append(wp.lhsSlots, lhs.lay.slotOf(w, loff))
+		}
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	s := &Schedule{eng: e, plans: plans, messages: len(pairEx)}
+	s.arrays = append(s.arrays, lhs)
+	for _, tm := range terms {
+		s.arrays = append(s.arrays, tm.src)
+	}
+	for _, a := range s.arrays {
+		s.gens = append(s.gens, a.gen)
+	}
+	pairs := make([][2]int, 0, len(pairEx))
+	for pr := range pairEx {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pr := range pairs {
+		ex := pairEx[pr]
+		sp := planOf(pr[0])
+		sp.sends = append(sp.sends, sendPlan{dst: pr[1], slabs: ex.slabs, slots: ex.slots})
+		rp := planOf(pr[1])
+		rp.recvs = append(rp.recvs, recvPlan{src: pr[0], targets: ex.targets})
+	}
+	for _, wp := range plans {
+		if wp == nil {
+			continue
+		}
+		wp.ghost = make([]float64, wp.nGhost)
+		wp.tmp = make([]float64, len(wp.lhsSlots))
+		s.ghostTotal += wp.nGhost
+	}
+	return s, nil
+}
+
+// GhostElements reports the deduplicated ghost traffic per execution.
+func (s *Schedule) GhostElements() int { return s.ghostTotal }
+
+// Messages reports the aggregated messages per execution.
+func (s *Schedule) Messages() int { return s.messages }
+
+// Execute runs the statement once across the workers.
+func (s *Schedule) Execute() error { return s.ExecuteN(1) }
+
+// ExecuteN runs the statement iters times in one worker epoch. The
+// iterations pipeline naturally: per-pair FIFO channels keep each
+// receiver's iteration k ghost data consistent with its sender's
+// post-(k-1) state, so no global barrier is needed between
+// iterations.
+func (s *Schedule) ExecuteN(iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("spmd: ExecuteN needs a positive iteration count, got %d", iters)
+	}
+	for i, a := range s.arrays {
+		if a.gen != s.gens[i] {
+			return fmt.Errorf("spmd: schedule over %s invalidated by remap; rebuild it", a.name)
+		}
+	}
+	e := s.eng
+	e.run(func(p int) {
+		wp := s.plans[p]
+		if wp == nil {
+			return
+		}
+		for it := 0; it < iters; it++ {
+			wp.step(e, p)
+		}
+		c := counters{
+			load:       wp.load * iters,
+			localRefs:  wp.localRefs * iters,
+			remoteRefs: wp.remoteRefs * iters,
+		}
+		for _, sp := range wp.sends {
+			c.sends = append(c.sends, sendCount{dst: sp.dst, elems: len(sp.slots), msgs: iters})
+		}
+		e.flush(p, &c)
+	})
+	return nil
+}
+
+// step is one worker's iteration: gather-and-send all outgoing ghost
+// messages, receive and scatter the incoming ones, then compute into
+// the temporary and store (whole-statement evaluation before any
+// store, Fortran array-assignment semantics).
+func (wp *wplan) step(e *Engine, p int) {
+	for i := range wp.sends {
+		sp := &wp.sends[i]
+		buf := make([]float64, len(sp.slots))
+		for k, sl := range sp.slots {
+			buf[k] = sp.slabs[k][sl]
+		}
+		e.send(p, sp.dst, buf)
+	}
+	for i := range wp.recvs {
+		rp := &wp.recvs[i]
+		msg := e.recv(rp.src, p)
+		for k, v := range msg {
+			wp.ghost[rp.targets[k]] = v
+		}
+	}
+	T := wp.nterms
+	for i := range wp.lhsSlots {
+		base := i * T
+		sum := 0.0
+		for ti := 0; ti < T; ti++ {
+			idx := wp.refs[base+ti]
+			var v float64
+			if idx >= 0 {
+				v = wp.srcData[ti][idx]
+			} else {
+				v = wp.ghost[-idx-1]
+			}
+			sum += wp.coeffs[ti] * v
+		}
+		wp.tmp[i] = sum
+	}
+	for i, sl := range wp.lhsSlots {
+		wp.lhsData[sl] = wp.tmp[i]
+	}
+}
+
+// ShiftAssign compiles and executes lhs(region) = Σ terms once.
+func (e *Engine) ShiftAssign(lhs *Array, region index.Domain, terms []Term) error {
+	s, err := e.BuildSchedule(lhs, region, terms)
+	if err != nil {
+		return err
+	}
+	return s.Execute()
+}
+
+// GeneralAssign compiles and executes a statement with arbitrary
+// per-term index mappings once.
+func (e *Engine) GeneralAssign(lhs *Array, region index.Domain, terms []GeneralTerm) error {
+	s, err := e.BuildGeneralSchedule(lhs, region, terms)
+	if err != nil {
+		return err
+	}
+	return s.Execute()
+}

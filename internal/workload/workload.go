@@ -3,6 +3,12 @@
 // relaxation, irregular (triangular) per-row weights for the
 // load-balancing experiments, and an LU-style shrinking active set
 // for the cyclic-distribution experiment.
+//
+// The executing sweeps run on the process-default execution backend
+// (package engine): the sequential simulator unless HPFNT_ENGINE (or
+// hpfbench's -engine flag) selects the parallel spmd engine. Both
+// backends produce identical values and statistics, so every
+// experiment's claim checks hold on either.
 package workload
 
 import (
@@ -10,8 +16,10 @@ import (
 
 	"hpfnt/internal/core"
 	"hpfnt/internal/dist"
+	"hpfnt/internal/engine"
 	"hpfnt/internal/index"
 	"hpfnt/internal/machine"
+	"hpfnt/internal/proc"
 	"hpfnt/internal/runtime"
 )
 
@@ -39,34 +47,35 @@ func StaggeredDomains(n int) (u, v, p index.Domain) {
 // the communication/load report. Each reference is a shifted read:
 // P(i,j) reads U(i-1,j), U(i,j), V(i,j-1) and V(i,j).
 func StaggeredSweep(n, np int, maps StaggeredMappings, cost machine.CostModel) (machine.Report, error) {
-	m, err := machine.New(np, cost)
+	eng, err := engine.NewDefault(np, cost)
 	if err != nil {
 		return machine.Report{}, err
 	}
-	ua, err := runtime.NewArray("U", maps.U)
+	defer eng.Close()
+	ua, err := eng.NewArray("U", maps.U)
 	if err != nil {
 		return machine.Report{}, err
 	}
-	va, err := runtime.NewArray("V", maps.V)
+	va, err := eng.NewArray("V", maps.V)
 	if err != nil {
 		return machine.Report{}, err
 	}
-	pa, err := runtime.NewArray("P", maps.P)
+	pa, err := eng.NewArray("P", maps.P)
 	if err != nil {
 		return machine.Report{}, err
 	}
 	ua.Fill(func(t index.Tuple) float64 { return float64(t[0] + 2*t[1]) })
 	va.Fill(func(t index.Tuple) float64 { return float64(3*t[0] - t[1]) })
-	terms := []runtime.Term{
-		runtime.Ref(ua, 1, -1, 0),
-		runtime.Ref(ua, 1, 0, 0),
-		runtime.Ref(va, 1, 0, -1),
-		runtime.Ref(va, 1, 0, 0),
+	terms := []engine.Term{
+		engine.Read(ua, 1, -1, 0),
+		engine.Read(ua, 1, 0, 0),
+		engine.Read(va, 1, 0, -1),
+		engine.Read(va, 1, 0, 0),
 	}
-	if err := runtime.ShiftAssign(m, pa, pa.Dom, terms); err != nil {
+	if err := pa.Assign(pa.Domain(), terms); err != nil {
 		return machine.Report{}, err
 	}
-	return m.Stats(), nil
+	return eng.Stats(), nil
 }
 
 // StaggeredVerify runs the sweep both distributed and sequentially
@@ -74,19 +83,20 @@ func StaggeredSweep(n, np int, maps StaggeredMappings, cost machine.CostModel) (
 // not change program semantics regardless of mapping).
 func StaggeredVerify(n, np int, maps StaggeredMappings) (bool, error) {
 	udom, vdom, pdom := StaggeredDomains(n)
-	m, err := machine.New(np, machine.DefaultCost())
+	eng, err := engine.NewDefault(np, machine.DefaultCost())
 	if err != nil {
 		return false, err
 	}
-	ua, err := runtime.NewArray("U", maps.U)
+	defer eng.Close()
+	ua, err := eng.NewArray("U", maps.U)
 	if err != nil {
 		return false, err
 	}
-	va, err := runtime.NewArray("V", maps.V)
+	va, err := eng.NewArray("V", maps.V)
 	if err != nil {
 		return false, err
 	}
-	pa, err := runtime.NewArray("P", maps.P)
+	pa, err := eng.NewArray("P", maps.P)
 	if err != nil {
 		return false, err
 	}
@@ -94,9 +104,9 @@ func StaggeredVerify(n, np int, maps StaggeredMappings) (bool, error) {
 	fill2 := func(t index.Tuple) float64 { return float64(t[0] - 5*t[1]) }
 	ua.Fill(fill1)
 	va.Fill(fill2)
-	if err := runtime.ShiftAssign(m, pa, pa.Dom, []runtime.Term{
-		runtime.Ref(ua, 1, -1, 0), runtime.Ref(ua, 1, 0, 0),
-		runtime.Ref(va, 1, 0, -1), runtime.Ref(va, 1, 0, 0),
+	if err := pa.Assign(pa.Domain(), []engine.Term{
+		engine.Read(ua, 1, -1, 0), engine.Read(ua, 1, 0, 0),
+		engine.Read(va, 1, 0, -1), engine.Read(va, 1, 0, 0),
 	}); err != nil {
 		return false, err
 	}
@@ -122,30 +132,71 @@ func StaggeredVerify(n, np int, maps StaggeredMappings) (bool, error) {
 // B(2:N-1,2:N-1) = 0.25*(A(1:N-2,:)+A(3:N,:)+A(:,1:N-2)+A(:,3:N))
 // over arrays with the given mappings and returns the report.
 func JacobiSweep(n, np int, a, b core.ElementMapping, cost machine.CostModel) (machine.Report, error) {
-	m, err := machine.New(np, cost)
+	eng, err := engine.NewDefault(np, cost)
 	if err != nil {
 		return machine.Report{}, err
 	}
-	aa, err := runtime.NewArray("A", a)
+	defer eng.Close()
+	rep, err := jacobiOn(eng, n, 1, a, b)
 	if err != nil {
 		return machine.Report{}, err
 	}
-	ba, err := runtime.NewArray("B", b)
+	return rep, nil
+}
+
+// jacobiOn builds the 5-point interior schedule on eng and replays it
+// iters times.
+func jacobiOn(eng engine.Engine, n, iters int, a, b core.ElementMapping) (machine.Report, error) {
+	aa, err := eng.NewArray("A", a)
+	if err != nil {
+		return machine.Report{}, err
+	}
+	ba, err := eng.NewArray("B", b)
 	if err != nil {
 		return machine.Report{}, err
 	}
 	aa.Fill(func(t index.Tuple) float64 { return float64((t[0] * t[1]) % 97) })
 	interior := index.Standard(2, n-1, 2, n-1)
-	terms := []runtime.Term{
-		runtime.Ref(aa, 0.25, -1, 0),
-		runtime.Ref(aa, 0.25, 1, 0),
-		runtime.Ref(aa, 0.25, 0, -1),
-		runtime.Ref(aa, 0.25, 0, 1),
+	terms := []engine.Term{
+		engine.Read(aa, 0.25, -1, 0),
+		engine.Read(aa, 0.25, 1, 0),
+		engine.Read(aa, 0.25, 0, -1),
+		engine.Read(aa, 0.25, 0, 1),
 	}
-	if err := runtime.ShiftAssign(m, ba, interior, terms); err != nil {
+	sched, err := ba.NewSchedule(interior, terms)
+	if err != nil {
 		return machine.Report{}, err
 	}
-	return m.Stats(), nil
+	if err := sched.ExecuteN(iters); err != nil {
+		return machine.Report{}, err
+	}
+	return eng.Stats(), nil
+}
+
+// JacobiReplay builds the n×n 5-point schedule once on eng and
+// replays it iters times — the schedule-replay workload behind the
+// parallel-speedup benchmarks. The report reflects all iterations.
+func JacobiReplay(eng engine.Engine, n, iters int, a, b core.ElementMapping) (machine.Report, error) {
+	return jacobiOn(eng, n, iters, a, b)
+}
+
+// BlockRowMapping returns the (BLOCK,:) mapping of an n×n array over
+// np processors — the canonical row-blocked Jacobi layout used by the
+// speedup benchmarks.
+func BlockRowMapping(n, np int) (core.ElementMapping, error) {
+	sys, err := proc.NewSystem(np)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := sys.DeclareArray("P", index.Standard(1, np))
+	if err != nil {
+		return nil, err
+	}
+	d, err := dist.New(index.Standard(1, n, 1, n), []dist.Format{dist.Block{}, dist.Collapsed{}}, proc.Whole(arr))
+	if err != nil {
+		return nil, err
+	}
+	return core.DistMapping{D: d}, nil
 }
 
 // TriangularWeights returns w(i) = i for i in 1..n — the canonical
