@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-spmd bench speedup fuzz fuzz-engine
+.PHONY: check fmt vet build test race race-spmd race-irregular bench speedup amortization fuzz fuzz-engine fuzz-irregular docs
 
-check: fmt vet build test
+check: fmt vet build test docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,6 +25,21 @@ race:
 race-spmd:
 	HPFNT_ENGINE=spmd $(GO) test -race -count=1 ./internal/exper ./hpf ./internal/workload
 
+# The irregular (inspector–executor) workloads and equivalence tests
+# on the spmd engine, under the race detector.
+race-irregular:
+	HPFNT_ENGINE=spmd $(GO) test -race -count=1 -run 'Irregular|Gather|Scatter' ./internal/workload ./internal/engine ./hpf
+
+# Every internal package must carry a package-level godoc comment
+# (go doc prints "Package <name> ..." on its third line iff one
+# exists).
+docs:
+	@fail=0; for d in ./internal/*/; do \
+		if ! $(GO) doc $$d 2>/dev/null | sed -n 3p | grep -q '^Package '; then \
+			echo "missing package comment: $$d"; fail=1; fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; echo "all internal packages documented"
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
@@ -32,9 +47,18 @@ bench:
 speedup:
 	HPFNT_SPEEDUP=1 $(GO) test -run TestSpmdSpeedupJacobi -count=1 -v ./internal/workload
 
+# The irregular schedule-reuse gate (steady-state >= 5x the inspector
+# iteration on the 64k-nonzero sparse CG gather).
+amortization:
+	HPFNT_SPEEDUP=1 $(GO) test -run TestIrregularAmortization -count=1 -v ./internal/workload
+
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzFormatRoundTrip -fuzztime 30s ./internal/dist
 
 # Differential fuzz of the spmd engine against the sequential oracle.
 fuzz-engine:
 	$(GO) test -run xxx -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/engine
+
+# Differential fuzz of the irregular (inspector–executor) path.
+fuzz-irregular:
+	$(GO) test -run xxx -fuzz FuzzIrregularEquivalence -fuzztime 30s ./internal/engine

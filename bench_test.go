@@ -415,3 +415,71 @@ func BenchmarkSpmdScheduleBuild(b *testing.B) {
 		}
 	}
 }
+
+// benchIrregularCG prepares the 64k-nonzero sparse CG workload
+// (q = A·x through the inspector–executor subsystem) on the spmd
+// engine and returns the compiled state.
+func benchIrregularCG(b *testing.B) *workload.SparseCG {
+	b.Helper()
+	const n, nnz, np = 8192, 65536, 8
+	eng, err := engine.New(engine.SPMD, np, machine.DefaultCost())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	sys := workload.SparseMatrix(n, nnz, 23)
+	xm, err := workload.Rank1Mapping(n, np, dist.Block{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qm, err := workload.Rank1Mapping(n, np, dist.Block{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := workload.NewSparseCG(eng, sys, xm, qm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkIrregularReplayFirst measures the first iteration of the
+// irregular gather: the inspector (ownership partition, remote
+// deduplication, schedule compilation) plus one execution. Compare
+// against BenchmarkIrregularReplaySteady for the schedule-reuse
+// amortization (acceptance gate: steady ≥ 5× faster; see
+// TestIrregularAmortization).
+func BenchmarkIrregularReplayFirst(b *testing.B) {
+	c := benchIrregularCG(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := c.NewSchedule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIrregularReplaySteady measures the steady-state iteration:
+// the compiled schedule replayed with no per-iteration analysis.
+func BenchmarkIrregularReplaySteady(b *testing.B) {
+	c := benchIrregularCG(b)
+	sched, err := c.NewSchedule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sched.Execute(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sched.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	hpfbench -engine spmd          # run on the parallel SPMD engine
 //	hpfbench -json results.json    # emit per-experiment timings/verdicts
 //	hpfbench -speedup              # 512² Jacobi replay: sim vs spmd
+//	hpfbench -irregular            # sparse CG + edge sweep: schedule-reuse amortization
 //	hpfbench -cpuprofile cpu.out   # write a pprof CPU profile
 //	hpfbench -memprofile mem.out   # write a pprof heap profile
 //
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"hpfnt/internal/dist"
 	"hpfnt/internal/engine"
 	"hpfnt/internal/exper"
 	"hpfnt/internal/machine"
@@ -40,6 +42,7 @@ var (
 	engineKind = flag.String("engine", engine.Default, "execution backend: sim (sequential oracle) or spmd (parallel workers)")
 	jsonOut    = flag.String("json", "", "write a JSON record of per-experiment timings and verdicts to this file (- for stdout)")
 	speedup    = flag.Bool("speedup", false, "run the 512² Jacobi schedule-replay speedup comparison (sim vs spmd)")
+	irregular  = flag.Bool("irregular", false, "run the irregular workloads (sparse CG gather, mesh edge sweep) and report schedule-reuse amortization")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 )
@@ -70,12 +73,31 @@ type jsonSpeedup struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// jsonIrregular records the inspector–executor workloads: the sparse
+// CG gather's schedule-reuse amortization (first = inspector + one
+// execution, steady = compiled replay) and the mesh edge sweep's
+// halo traffic.
+type jsonIrregular struct {
+	N            int     `json:"n"`
+	NNZ          int     `json:"nnz"`
+	NP           int     `json:"np"`
+	Iters        int     `json:"iters"`
+	FirstMS      float64 `json:"first_ms"`
+	SteadyMS     float64 `json:"steady_ms"`
+	Amortization float64 `json:"amortization"`
+	MeshNodes    int     `json:"mesh_nodes"`
+	MeshEdges    int     `json:"mesh_edges"`
+	MeshMessages int64   `json:"mesh_messages"`
+	MeshElements int64   `json:"mesh_elements"`
+}
+
 // jsonRecord is the full -json payload.
 type jsonRecord struct {
-	Engine      string       `json:"engine"`
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	Experiments []jsonResult `json:"experiments"`
-	Speedup     *jsonSpeedup `json:"speedup,omitempty"`
+	Engine      string         `json:"engine"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Experiments []jsonResult   `json:"experiments"`
+	Speedup     *jsonSpeedup   `json:"speedup,omitempty"`
+	Irregular   *jsonIrregular `json:"irregular,omitempty"`
 }
 
 func main() {
@@ -173,6 +195,18 @@ func run() int {
 		fmt.Printf("speedup: 512² Jacobi ×%d on %d workers: sim %.1fms, spmd %.1fms (%.2fx, GOMAXPROCS=%d)\n",
 			sp.Iters, sp.NP, sp.SimMS, sp.SpmdMS, sp.Speedup, runtime.GOMAXPROCS(0))
 	}
+	if *irregular {
+		ir, err := runIrregular()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfbench: -irregular: %v\n", err)
+			return 1
+		}
+		record.Irregular = ir
+		fmt.Printf("irregular: sparse CG %d nnz on %d workers (%s): inspector+execute %.2fms, steady %.3fms/iter (%.1fx amortization)\n",
+			ir.NNZ, ir.NP, engine.Default, ir.FirstMS, ir.SteadyMS, ir.Amortization)
+		fmt.Printf("irregular: edge sweep %d nodes / %d edges: %d messages, %d halo elements per iteration\n",
+			ir.MeshNodes, ir.MeshEdges, ir.MeshMessages, ir.MeshElements)
+	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, record); err != nil {
 			fmt.Fprintf(os.Stderr, "hpfbench: -json: %v\n", err)
@@ -226,6 +260,43 @@ func runSpeedup() (*jsonSpeedup, error) {
 		SimMS:   float64(simD.Microseconds()) / 1000,
 		SpmdMS:  float64(spmdD.Microseconds()) / 1000,
 		Speedup: float64(simD) / float64(spmdD),
+	}, nil
+}
+
+// runIrregular runs the inspector–executor workloads on the selected
+// engine: the 64k-nonzero sparse CG gather timed for schedule-reuse
+// amortization, and the mesh edge sweep for its halo-traffic record.
+func runIrregular() (*jsonIrregular, error) {
+	const n, nnz, np, iters = 8192, 65536, 8, 50
+	sys := workload.SparseMatrix(n, nnz, 23)
+	first, steady, err := workload.IrregularAmortization(engine.Default, sys, np, iters)
+	if err != nil {
+		return nil, err
+	}
+	const meshN, chords = 4096, 2048
+	mesh := workload.RingMesh(meshN, chords, 29)
+	eng, err := engine.New(engine.Default, np, machine.DefaultCost())
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	valMap, err := workload.Rank1Mapping(meshN, np, dist.Block{})
+	if err != nil {
+		return nil, err
+	}
+	accMap, err := workload.PartitionMapping(meshN, np, 31)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := workload.EdgeSweep(eng, mesh, 1, valMap, accMap)
+	if err != nil {
+		return nil, err
+	}
+	return &jsonIrregular{
+		N: n, NNZ: nnz, NP: np, Iters: iters,
+		FirstMS: first, SteadyMS: steady, Amortization: first / steady,
+		MeshNodes: meshN, MeshEdges: len(mesh.U),
+		MeshMessages: rep.Messages, MeshElements: rep.ElementsMoved,
 	}, nil
 }
 

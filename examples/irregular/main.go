@@ -77,4 +77,26 @@ func main() {
 	}
 	fmt.Printf("\nsweep over the irregular mapping: %s\n", prog.Stats())
 	fmt.Printf("global sum of B(2:%d) region = %g\n", n-1, sum)
+
+	// Truly irregular access: gather B(i) = A(V(i)) through an
+	// indirection vector — subscripts that are data, the case the
+	// inspector–executor subsystem compiles. Build the schedule once,
+	// replay it; the replays perform no ownership analysis.
+	prog.ResetStats()
+	idx := make([]int, n)
+	writes := make([]int, n)
+	for i := range idx {
+		idx[i] = (i*13)%n + 1
+		writes[i] = i + 1
+	}
+	sched, err := b.NewIrregular(a, writes, idx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.RunN(10); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngather B(i) = A(V(i)) ×10 (schedule built once): %s\n", prog.Stats())
+	fmt.Printf("halo per iteration: %d elements in %d messages; B(1) = A(%d) = %g\n",
+		sched.GhostElements(), sched.Messages(), idx[0], b.At(hpf.TupleOf(1)))
 }

@@ -37,6 +37,7 @@ import (
 	"hpfnt/internal/engine"
 	"hpfnt/internal/index"
 	"hpfnt/internal/inquiry"
+	"hpfnt/internal/inspector"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/proc"
 	"hpfnt/internal/runtime"
@@ -424,6 +425,115 @@ func (s *Schedule) Messages() int { return s.s.Messages() }
 // a 1-based owner vector (one entry per index). It errors on invalid
 // owner entries.
 func INDIRECT(owner []int) (Format, error) { return dist.NewIndirect(owner) }
+
+// irregularPattern converts rank-1 global-index access lists to the
+// inspector's offset form, validating ranks and index bounds.
+func irregularPattern(lhs, src *DistArray, writes, reads []int, coeffs []float64) (inspector.Pattern, error) {
+	ldom, sdom := lhs.arr.Domain(), src.arr.Domain()
+	if ldom.Rank() != 1 || sdom.Rank() != 1 {
+		return inspector.Pattern{}, fmt.Errorf("hpf: irregular schedules take rank-1 arrays (have %s rank %d, %s rank %d)",
+			lhs.Name(), ldom.Rank(), src.Name(), sdom.Rank())
+	}
+	if len(writes) != len(reads) {
+		return inspector.Pattern{}, fmt.Errorf("hpf: %d writes vs %d reads", len(writes), len(reads))
+	}
+	if coeffs != nil && len(coeffs) != len(writes) {
+		return inspector.Pattern{}, fmt.Errorf("hpf: %d coefficients for %d accesses", len(coeffs), len(writes))
+	}
+	lt, st := ldom.Dims[0], sdom.Dims[0]
+	pat := inspector.Pattern{
+		Writes: make([]int32, len(writes)),
+		Reads:  make([]int32, len(reads)),
+		Coeffs: coeffs,
+	}
+	for k, w := range writes {
+		if w < lt.Low || w > lt.High {
+			return inspector.Pattern{}, fmt.Errorf("hpf: access %d writes %s(%d) outside %s", k, lhs.Name(), w, ldom)
+		}
+		pat.Writes[k] = int32(w - lt.Low)
+	}
+	for k, r := range reads {
+		if r < st.Low || r > st.High {
+			return inspector.Pattern{}, fmt.Errorf("hpf: access %d reads %s(%d) outside %s", k, src.Name(), r, sdom)
+		}
+		pat.Reads[k] = int32(r - st.Low)
+	}
+	return pat, nil
+}
+
+// NewIrregular compiles the subscripted (indirection-array) statement
+//
+//	lhs(writes[k]) = Σ_k coeffs[k] · src(reads[k])
+//
+// into a reusable inspector–executor schedule: the inspector runs
+// once — partitioning the accesses by owner, deduplicating remote
+// reads, and aggregating the halo exchange into one message per
+// processor pair — and every Run/RunN replays the compiled exchange
+// with no per-iteration analysis. This is the communication pattern
+// of INDIRECT-distributed data and subscripted accesses like
+// X(COL(k)), whose communication sets cannot be derived in closed
+// form (§9). writes and reads are global indices of the rank-1 lhs
+// and src arrays; a nil coeffs means all 1. Elements of lhs never
+// written keep their values; elements written more than once receive
+// the sum of their accesses. Rebuild after any remapping of either
+// array; replicated arrays are refused.
+func (a *DistArray) NewIrregular(src *DistArray, writes, reads []int, coeffs []float64) (*Schedule, error) {
+	pat, err := irregularPattern(a, src, writes, reads, coeffs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := a.arr.NewIrregular(src.arr, pat)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+// Gather executes lhs(i) = src(idx(i)) once: one indirection entry
+// per element of the rank-1 lhs, in index order. It is the A = B(V)
+// form of subscripted assignment; for iterated gathers build the
+// schedule once with NewIrregular and RunN it.
+func (a *DistArray) Gather(src *DistArray, idx []int) error {
+	dom := a.arr.Domain()
+	if dom.Rank() != 1 {
+		return fmt.Errorf("hpf: Gather takes a rank-1 lhs (have %s rank %d)", a.Name(), dom.Rank())
+	}
+	if len(idx) != dom.Size() {
+		return fmt.Errorf("hpf: Gather over %s needs %d indices, got %d", a.Name(), dom.Size(), len(idx))
+	}
+	writes := make([]int, len(idx))
+	for i := range writes {
+		writes[i] = dom.Dims[0].Low + i
+	}
+	s, err := a.NewIrregular(src, writes, idx, nil)
+	if err != nil {
+		return err
+	}
+	return s.Run()
+}
+
+// Scatter executes lhs(idx(i)) = src(i) once: one indirection entry
+// per element of the rank-1 src, in index order — the A(V) = B form.
+// Duplicate indices accumulate (scatter-add); lhs elements not named
+// in idx keep their values.
+func (a *DistArray) Scatter(src *DistArray, idx []int) error {
+	dom := src.arr.Domain()
+	if dom.Rank() != 1 {
+		return fmt.Errorf("hpf: Scatter takes a rank-1 src (have %s rank %d)", src.Name(), dom.Rank())
+	}
+	if len(idx) != dom.Size() {
+		return fmt.Errorf("hpf: Scatter from %s needs %d indices, got %d", src.Name(), dom.Size(), len(idx))
+	}
+	reads := make([]int, len(idx))
+	for i := range reads {
+		reads[i] = dom.Dims[0].Low + i
+	}
+	s, err := a.NewIrregular(src, idx, reads, nil)
+	if err != nil {
+		return err
+	}
+	return s.Run()
+}
 
 // MixedTerm is a right-hand-side reference with an arbitrary
 // (possibly rank-changing) index mapping, e.g. the A(i) in

@@ -469,3 +469,172 @@ func TestReplicatedRemapSpreadsSenders(t *testing.T) {
 		t.Fatalf("remap traffic must spread over replica holders: sim %d senders, spmd %d", simSenders, spmdSenders)
 	}
 }
+
+// TestIrregularGatherScatter drives the inspector–executor facade:
+// an INDIRECT-distributed source gathered through an indirection
+// vector, scatter-add back, and schedule reuse with RunN.
+func TestIrregularGatherScatter(t *testing.T) {
+	const n, np = 30, 5
+	prog := newProg(t, np)
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = (i*3)%np + 1
+	}
+	indir, err := INDIRECT(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := prog.Processors("P", Shape(1, np))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"X", "Y", "Z"} {
+		if err := prog.Declare(name, Shape(1, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := prog.Distribute("X", []Format{indir}, tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Distribute("Y", []Format{BLOCK}, tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Distribute("Z", []Format{CYCLIC}, tg); err != nil {
+		t.Fatal(err)
+	}
+	x, err := prog.NewArray("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := prog.NewArray("Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := prog.NewArray("Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Fill(func(tu Tuple) float64 { return float64(10 * tu[0]) })
+
+	// Gather: Y(i) = X(V(i)) with V(i) = (i*7 mod n) + 1.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = (i*7)%n + 1
+	}
+	if err := y.Gather(x, idx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if got := y.At(TupleOf(i)); got != float64(10*idx[i-1]) {
+			t.Fatalf("Y(%d) = %g, want %g", i, got, float64(10*idx[i-1]))
+		}
+	}
+
+	// Scatter-add: Z(W(i)) = Σ Y(i) over duplicate targets.
+	w := make([]int, n)
+	for i := range w {
+		w[i] = i/2 + 1 // each target named twice
+	}
+	if err := z.Scatter(y, w); err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= n/2; j++ {
+		want := y.At(TupleOf(2*j-1)) + y.At(TupleOf(2*j))
+		if got := z.At(TupleOf(j)); got != want {
+			t.Fatalf("Z(%d) = %g, want %g", j, got, want)
+		}
+	}
+	for j := n/2 + 1; j <= n; j++ {
+		if got := z.At(TupleOf(j)); got != 0 {
+			t.Fatalf("Z(%d) = %g, want untouched 0", j, got)
+		}
+	}
+
+	// Schedule reuse: replaying a compiled irregular gather leaves
+	// values fixed and needs no re-analysis.
+	writes := make([]int, n)
+	for i := range writes {
+		writes[i] = i + 1
+	}
+	sched, err := y.NewIrregular(x, writes, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.GhostElements() == 0 || sched.Messages() == 0 {
+		t.Fatalf("irregular gather should communicate: ghost %d, msgs %d", sched.GhostElements(), sched.Messages())
+	}
+	if err := sched.RunN(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if got := y.At(TupleOf(i)); got != float64(10*idx[i-1]) {
+			t.Fatalf("replayed Y(%d) = %g", i, got)
+		}
+	}
+
+	// Remap invalidates; rebuild works.
+	if _, err := x.RemapTo(y.Mapping()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err == nil || !strings.Contains(err.Error(), "invalidated by remap") {
+		t.Fatalf("stale irregular schedule ran: %v", err)
+	}
+	sched2, err := y.NewIrregular(x, writes, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIrregularAPIErrors covers the facade validation: rank, index
+// bounds, and length mismatches.
+func TestIrregularAPIErrors(t *testing.T) {
+	prog := newProg(t, 2)
+	tg, err := prog.Processors("P", Shape(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Declare("M", Shape(1, 4, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Declare("V", Shape(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Distribute("M", []Format{BLOCK, COLON}, tg); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Distribute("V", []Format{BLOCK}, tg); err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewArray("M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := prog.NewArray("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewIrregular(v, []int{1}, []int{1}, nil); err == nil {
+		t.Fatal("rank-2 lhs accepted")
+	}
+	if _, err := v.NewIrregular(v, []int{1, 2}, []int{1}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := v.NewIrregular(v, []int{9}, []int{1}, nil); err == nil {
+		t.Fatal("out-of-domain write accepted")
+	}
+	if _, err := v.NewIrregular(v, []int{1}, []int{0}, nil); err == nil {
+		t.Fatal("out-of-domain read accepted")
+	}
+	if _, err := v.NewIrregular(v, []int{1}, []int{1}, []float64{1, 2}); err == nil {
+		t.Fatal("coefficient length mismatch accepted")
+	}
+	if err := v.Gather(v, []int{1}); err == nil {
+		t.Fatal("short Gather indirection accepted")
+	}
+	if err := v.Scatter(v, []int{1}); err == nil {
+		t.Fatal("short Scatter indirection accepted")
+	}
+}

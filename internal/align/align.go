@@ -1,4 +1,10 @@
-// Package align implements the paper's alignment directives (§5).
+// Package align implements the paper's alignment directives (§5). In
+// the pipeline it sits between the directive front end and the
+// mapping kernel: parsed ALIGN specs normalize into alignment
+// functions that package core composes (CONSTRUCT) with direct
+// distributions from package dist to produce element mappings, and
+// the affine interval form computed here is what lets the run-length
+// ownership kernel transport owner tiles through alignments.
 //
 // An ALIGN directive
 //

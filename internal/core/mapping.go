@@ -3,7 +3,12 @@
 // §2.4 (trees of height at most 1 with primary and secondary arrays),
 // the CONSTRUCT composition of Definition 4, the DISTRIBUTE / ALIGN /
 // REDISTRIBUTE / REALIGN semantics of §4–§5, allocatable array
-// handling per §6, and the procedure-boundary machinery of §7.
+// handling per §6, and the procedure-boundary machinery of §7. In
+// the pipeline this is the composition layer: it turns the
+// per-dimension formats of package dist and the alignment functions
+// of package align into the ElementMapping every executor consumes,
+// and extends the run-length ownership kernel (owner tiles) across
+// alignment and procedure-boundary composition.
 package core
 
 import (

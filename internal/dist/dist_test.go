@@ -236,6 +236,43 @@ func TestIndirectPrecomputedTables(t *testing.T) {
 	}
 }
 
+// TestIndirectRunEstimateExact pins the INDIRECT fast paths: the
+// run-count estimate over any subinterval must equal the number of
+// runs AppendRuns emits (not the whole-vector bound), and the emitted
+// runs must match a per-element walk of the owner vector.
+func TestIndirectRunEstimateExact(t *testing.T) {
+	owner := []int{1, 1, 1, 2, 2, 3, 3, 3, 3, 1, 2, 2, 1, 1, 3}
+	n, np := len(owner), 3
+	f, err := NewIndirect(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 1; lo <= n; lo++ {
+		for hi := lo; hi <= n; hi++ {
+			runs := Runs(f, lo, hi, n, np)
+			if est := f.RunCountEstimate(lo, hi, n, np); est != len(runs) {
+				t.Fatalf("estimate over [%d,%d] = %d, want exactly %d", lo, hi, est, len(runs))
+			}
+			// The runs must partition [lo, hi] with the vector's owners.
+			i := lo
+			for _, r := range runs {
+				if r.Lo != i || r.Hi < r.Lo || r.Hi > hi {
+					t.Fatalf("runs over [%d,%d] do not partition: %v", lo, hi, runs)
+				}
+				for j := r.Lo; j <= r.Hi; j++ {
+					if owner[j-1] != r.Proc {
+						t.Fatalf("run %v disagrees with owner[%d]=%d", r, j, owner[j-1])
+					}
+				}
+				i = r.Hi + 1
+			}
+			if i != hi+1 {
+				t.Fatalf("runs over [%d,%d] stop at %d: %v", lo, hi, i-1, runs)
+			}
+		}
+	}
+}
+
 func TestKindAndStringRendering(t *testing.T) {
 	short, _ := NewIndirect([]int{1, 2})
 	long, _ := NewIndirect(make4096ones())

@@ -489,9 +489,13 @@ type indirect struct {
 	// runs[p] are the maximal contiguous runs owned by p+1.
 	runs map[int][]Range
 	max  int
-	// totalRuns counts the maximal runs over the whole vector, an
-	// upper bound for any subinterval's run count.
-	totalRuns int
+	// allRuns are the maximal same-owner runs of the whole vector in
+	// index order, and runOf[i] is the index into allRuns of the run
+	// holding global index i+1 — so any subinterval's runs are a
+	// clipped sub-slice of allRuns and its run count is an O(1) exact
+	// difference (not the pessimistic whole-vector bound).
+	allRuns []Run
+	runOf   []int32
 }
 
 // NewIndirect builds an INDIRECT format from a 1-based owner vector
@@ -507,6 +511,7 @@ func NewIndirect(owner []int) (Format, error) {
 		local:    make([]int, len(owner)),
 		perOwner: map[int][]int{},
 		runs:     map[int][]Range{},
+		runOf:    make([]int32, len(owner)),
 	}
 	for i, p := range f.owner {
 		if p < 1 {
@@ -516,8 +521,11 @@ func NewIndirect(owner []int) (Format, error) {
 			f.max = p
 		}
 		if i == 0 || p != f.owner[i-1] {
-			f.totalRuns++
+			f.allRuns = append(f.allRuns, Run{Lo: i + 1, Hi: i + 1, Proc: p})
+		} else {
+			f.allRuns[len(f.allRuns)-1].Hi = i + 1
 		}
+		f.runOf[i] = int32(len(f.allRuns) - 1)
 		f.perOwner[p] = append(f.perOwner[p], i+1)
 		f.local[i] = len(f.perOwner[p])
 		rs := f.runs[p]

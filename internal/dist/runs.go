@@ -130,23 +130,20 @@ func (g GeneralBlock) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
 	}
 }
 
-// AppendRuns walks the owner vector over [lo, hi] coalescing maximal
-// same-owner runs — the generic per-element fallback INDIRECT needs,
-// since a user-defined owner vector admits no closed form.
+// AppendRuns copies the precomputed maximal runs overlapping [lo, hi],
+// clipping the first and last to the interval: O(runs emitted), not a
+// per-element walk — a user-defined owner vector has no closed form,
+// but its run decomposition is fixed at construction.
 func (f *indirect) AppendRuns(dst []Run, lo, hi, n, np int) []Run {
 	if lo > hi {
 		return dst
 	}
-	cur := Run{Lo: lo, Hi: lo, Proc: f.owner[lo-1]}
-	for i := lo + 1; i <= hi; i++ {
-		if p := f.owner[i-1]; p == cur.Proc {
-			cur.Hi = i
-		} else {
-			dst = append(dst, cur)
-			cur = Run{Lo: i, Hi: i, Proc: p}
-		}
-	}
-	return append(dst, cur)
+	first, last := f.runOf[lo-1], f.runOf[hi-1]
+	k := len(dst)
+	dst = append(dst, f.allRuns[first:last+1]...)
+	dst[k].Lo = lo
+	dst[len(dst)-1].Hi = hi
+	return dst
 }
 
 // RunCountEstimate counts the blocks intersecting the interval.
@@ -195,16 +192,16 @@ func (g GeneralBlock) RunCountEstimate(lo, hi, n, np int) int {
 	return g.Map(hi, n, np) - g.Map(lo, n, np) + 1
 }
 
-// RunCountEstimate bounds the interval's runs by the vector's
-// precomputed total run count and the interval length.
+// RunCountEstimate is exact for INDIRECT: the per-index run table
+// gives the number of maximal runs overlapping [lo, hi] in O(1). (It
+// used to bound by the whole vector's run count, which made the
+// estimate-based oracle-vs-tiles selection in schedule analysis
+// pessimistic for partitioner-style vectors with long runs.)
 func (f *indirect) RunCountEstimate(lo, hi, n, np int) int {
 	if lo > hi {
 		return 0
 	}
-	if f.totalRuns < hi-lo+1 {
-		return f.totalRuns
-	}
-	return hi - lo + 1
+	return int(f.runOf[hi-1]-f.runOf[lo-1]) + 1
 }
 
 // Tile is a rectangular sub-domain all of whose elements are owned by

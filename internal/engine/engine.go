@@ -19,6 +19,7 @@ import (
 
 	"hpfnt/internal/core"
 	"hpfnt/internal/index"
+	"hpfnt/internal/inspector"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/runtime"
 )
@@ -127,6 +128,13 @@ type Array interface {
 	AssignGeneral(region index.Domain, terms []GeneralTerm) error
 	// NewSchedule precompiles the statement's communication schedule.
 	NewSchedule(region index.Domain, terms []Term) (Schedule, error)
+	// NewIrregular runs the inspector over an irregular gather/scatter
+	// access pattern (subscripts from indirection arrays, no closed
+	// form) and precompiles its reusable halo-exchange schedule:
+	// lhs(pat.Writes[k]) = Σ_k pat.Coeffs[k]·src(pat.Reads[k]), with
+	// element positions as column-major offsets. Replicated arrays are
+	// refused; remapping either array invalidates the schedule.
+	NewIrregular(src Array, pat inspector.Pattern) (Schedule, error)
 	// Remap moves the array to a new element mapping, returning the
 	// number of elements moved.
 	Remap(newMap core.ElementMapping) (int, error)

@@ -5,6 +5,7 @@ import (
 
 	"hpfnt/internal/core"
 	"hpfnt/internal/index"
+	"hpfnt/internal/inspector"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/runtime"
 )
@@ -99,6 +100,18 @@ func (x *simArray) NewSchedule(region index.Domain, ts []Term) (Schedule, error)
 	return &simSchedule{eng: x.eng, s: s}, nil
 }
 
+func (x *simArray) NewIrregular(src Array, pat inspector.Pattern) (Schedule, error) {
+	sa, ok := src.(*simArray)
+	if !ok || sa.eng != x.eng {
+		return nil, fmt.Errorf("engine: irregular source %s is not on this sim engine", src.Name())
+	}
+	s, err := runtime.BuildIrregular(x.eng.np, x.a, sa.a, pat)
+	if err != nil {
+		return nil, err
+	}
+	return &simIrregular{eng: x.eng, s: s}, nil
+}
+
 func (x *simArray) Remap(newMap core.ElementMapping) (int, error) {
 	return runtime.Remap(x.eng.m, x.a, newMap)
 }
@@ -128,3 +141,26 @@ func (s *simSchedule) ExecuteN(iters int) error {
 
 func (s *simSchedule) GhostElements() int { return s.s.GhostElements() }
 func (s *simSchedule) Messages() int      { return s.s.Messages() }
+
+// simIrregular adapts the sequential irregular executor.
+type simIrregular struct {
+	eng *simEngine
+	s   *runtime.IrregularSchedule
+}
+
+func (s *simIrregular) Execute() error { return s.s.Execute(s.eng.m) }
+
+func (s *simIrregular) ExecuteN(iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("engine: ExecuteN needs a positive iteration count, got %d", iters)
+	}
+	for i := 0; i < iters; i++ {
+		if err := s.s.Execute(s.eng.m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *simIrregular) GhostElements() int { return s.s.GhostElements() }
+func (s *simIrregular) Messages() int      { return s.s.Messages() }

@@ -5,6 +5,7 @@ import (
 
 	"hpfnt/internal/core"
 	"hpfnt/internal/index"
+	"hpfnt/internal/inspector"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/spmd"
 )
@@ -94,6 +95,14 @@ func (x *spmdArray) NewSchedule(region index.Domain, ts []Term) (Schedule, error
 		return nil, err
 	}
 	return s, nil
+}
+
+func (x *spmdArray) NewIrregular(src Array, pat inspector.Pattern) (Schedule, error) {
+	sa, ok := src.(*spmdArray)
+	if !ok || sa.eng != x.eng {
+		return nil, fmt.Errorf("engine: irregular source %s is not on this spmd engine", src.Name())
+	}
+	return x.eng.e.BuildIrregular(x.a, sa.a, pat)
 }
 
 func (x *spmdArray) Remap(newMap core.ElementMapping) (int, error) {

@@ -5,7 +5,10 @@
 // ("Since linear expressions cannot handle some frequently occurring
 // cases, such as truncation at either end of the alignment, we also
 // allow the intrinsic functions MAX, MIN, LBOUND, UBOUND, and SIZE to
-// be used in alignment functions").
+// be used in alignment functions"). In the pipeline it serves the
+// directive front end and package align: parsed subscript expressions
+// evaluate here, and their linear-form extraction is what package
+// align's affine interval transport is built on.
 package expr
 
 import (

@@ -4,7 +4,9 @@
 // n (Fortran 90 specification, R619). Every declared data array and
 // processor array is associated with a standard index domain (all
 // strides 1); array sections and processor sections are general
-// (strided) domains.
+// (strided) domains. In the pipeline this is the foundation layer:
+// every mapping, tile, schedule and storage layout above it is
+// expressed over these domains, tuples and triplets.
 package index
 
 import (

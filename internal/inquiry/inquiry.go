@@ -3,7 +3,9 @@
 // pass templates across procedure boundaries (§8.1.2, §8.2: "Even in
 // the case of inherited distributions which cannot be explicitly
 // specified, inquiry functions can be used to determine every aspect
-// of the distribution passed into the procedure").
+// of the distribution passed into the procedure"). In the pipeline it
+// is a read-only consumer: it describes the element mappings package
+// core produces, without affecting execution.
 package inquiry
 
 import (

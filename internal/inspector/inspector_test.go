@@ -1,0 +1,119 @@
+package inspector
+
+import (
+	"testing"
+)
+
+// grid builds an owner grid from a literal.
+func grid(owners ...int32) []int32 { return owners }
+
+// TestBuildClassifiesLocalAndRemote pins the core partition: accesses
+// execute on the writer's owner, reads split into local element
+// offsets and ghost slots, and remote reads deduplicate per (element,
+// reader).
+func TestBuildClassifiesLocalAndRemote(t *testing.T) {
+	// lhs offsets 0,1 on worker 1; 2,3 on worker 2.
+	wOwn := grid(1, 1, 2, 2)
+	// src offsets 0,1 on worker 1; 2,3 on worker 2.
+	rOwn := grid(1, 1, 2, 2)
+	pat := Pattern{
+		//            local(w1)  remote(w1<-2)  dup remote  local(w2)
+		Writes: []int32{0, 1, 1, 2},
+		Reads:  []int32{1, 3, 3, 2},
+		Coeffs: []float64{2, 3, 5, 7},
+	}
+	s, err := Build(2, wOwn, rOwn, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := s.Plans[1], s.Plans[2]
+	if p1 == nil || p2 == nil {
+		t.Fatal("both workers have accesses")
+	}
+	if p1.Load != 3 || p1.LocalRefs != 1 || p1.RemoteRefs != 2 {
+		t.Fatalf("worker 1 counters: %+v", p1)
+	}
+	if p2.Load != 1 || p2.LocalRefs != 1 || p2.RemoteRefs != 0 {
+		t.Fatalf("worker 2 counters: %+v", p2)
+	}
+	// Worker 1 writes offsets 0 and 1; the two remote reads of src
+	// offset 3 share one ghost slot.
+	if len(p1.Outs) != 2 || p1.Outs[0] != 0 || p1.Outs[1] != 1 {
+		t.Fatalf("worker 1 outs: %v", p1.Outs)
+	}
+	if p1.NGhost != 1 {
+		t.Fatalf("ghost slots not deduplicated: %d", p1.NGhost)
+	}
+	if p1.Reads[0] != 1 || p1.Reads[1] != -1 || p1.Reads[2] != -1 {
+		t.Fatalf("worker 1 reads: %v", p1.Reads)
+	}
+	// One message: worker 2 ships src offset 3 to worker 1.
+	if s.Messages() != 1 || s.GhostElements() != 1 {
+		t.Fatalf("messages %d, ghost %d", s.Messages(), s.GhostElements())
+	}
+	pr := s.Pairs[0]
+	if pr.Src != 2 || pr.Dst != 1 || len(pr.Offsets) != 1 || pr.Offsets[0] != 3 || pr.Targets[0] != 0 {
+		t.Fatalf("pair: %+v", pr)
+	}
+}
+
+// TestBuildPairOrderDeterministic asserts the pair list is sorted by
+// (Src, Dst) regardless of encounter order.
+func TestBuildPairOrderDeterministic(t *testing.T) {
+	wOwn := grid(3, 2, 1)
+	rOwn := grid(1, 2, 3)
+	pat := Pattern{
+		Writes: []int32{0, 1, 2, 0},
+		Reads:  []int32{1, 0, 1, 0},
+	}
+	s, err := Build(3, wOwn, rOwn, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Pairs); i++ {
+		a, b := s.Pairs[i-1], s.Pairs[i]
+		if a.Src > b.Src || (a.Src == b.Src && a.Dst >= b.Dst) {
+			t.Fatalf("pairs not sorted: %+v", s.Pairs)
+		}
+	}
+	if s.GhostElements() != 4 {
+		t.Fatalf("ghost elements = %d, want 4", s.GhostElements())
+	}
+}
+
+// TestBuildNilCoeffsDefaultToOne checks the coefficient default.
+func TestBuildNilCoeffsDefaultToOne(t *testing.T) {
+	s, err := Build(1, grid(1, 1), grid(1, 1), Pattern{Writes: []int32{0}, Reads: []int32{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Plans[1].Coeffs[0] != 1 {
+		t.Fatalf("coeff = %g, want 1", s.Plans[1].Coeffs[0])
+	}
+}
+
+// TestValidateErrors covers the pattern shape errors.
+func TestValidateErrors(t *testing.T) {
+	cases := []Pattern{
+		{Writes: []int32{0}, Reads: []int32{}},
+		{Writes: []int32{0}, Reads: []int32{0}, Coeffs: []float64{1, 2}},
+		{Writes: []int32{2}, Reads: []int32{0}},
+		{Writes: []int32{0}, Reads: []int32{-1}},
+	}
+	for i, pat := range cases {
+		if _, err := Build(1, grid(1, 1), grid(1, 1), pat); err == nil {
+			t.Fatalf("case %d: invalid pattern accepted", i)
+		}
+	}
+}
+
+// TestBuildEmptyPattern: zero accesses yield an executable no-op.
+func TestBuildEmptyPattern(t *testing.T) {
+	s, err := Build(2, grid(1, 2), grid(1, 2), Pattern{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Messages() != 0 || s.GhostElements() != 0 {
+		t.Fatalf("empty pattern has traffic: %+v", s)
+	}
+}

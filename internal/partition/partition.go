@@ -5,7 +5,9 @@
 // for the support of load balancing, and can be implemented
 // efficiently". This package is the load-balancing side of that
 // claim: given w(i) for each index, it chooses contiguous block
-// boundaries that equalize per-processor weight.
+// boundaries that equalize per-processor weight. In the pipeline it
+// feeds computed bound vectors into GENERAL_BLOCK formats (package
+// dist) for the load-balancing experiments (E4) and examples.
 package partition
 
 import (

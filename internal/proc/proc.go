@@ -1,4 +1,8 @@
-// Package proc implements the paper's processor model (§3).
+// Package proc implements the paper's processor model (§3). It is
+// the bottom of the mapping pipeline: every distribution (package
+// dist) maps index domains onto the abstract processor numbering
+// defined here, and the execution engines (packages runtime and
+// spmd) create one simulated or real worker per abstract processor.
 //
 // Each implementation determines an implicit abstract processor
 // arrangement AP — a linear numbering scheme 1..N for the physical

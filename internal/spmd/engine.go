@@ -18,7 +18,9 @@
 // each tile. Ghost exchange, load accounting and message
 // vectorization are compiled once per schedule and replayed on every
 // execution, mirroring BuildSchedule/Execute of the sequential
-// runtime.
+// runtime. Irregular (indirection-array) statements compile through
+// the inspector–executor kernel of package inspector instead and are
+// lowered here to the same slot/channel machinery (IrregularSchedule).
 package spmd
 
 import (

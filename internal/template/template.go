@@ -7,7 +7,11 @@
 // are distinct even with equal domains). Templates are not first
 // class: they cannot be ALLOCATABLE and cannot be passed across
 // procedure boundaries — both restrictions are enforced here so the
-// paper's §8.2 criticisms are demonstrable (experiment E12).
+// paper's §8.2 criticisms are demonstrable (experiment E12). In the
+// pipeline it is an optional side entrance: TEMPLATE-aligned arrays
+// resolve to the same ElementMapping interface (package core) the
+// template-free path produces, so everything downstream — owner
+// tiles, schedules, both engines — runs unchanged over either model.
 //
 // Unlike the paper's model (package core), the template model allows
 // alignment chains: an array may be aligned to another array that is

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"os"
+	"testing"
+
+	"hpfnt/internal/dist"
+	"hpfnt/internal/engine"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+)
+
+// denseX materializes the deterministic CG fill over 1:n densely.
+func denseX(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = xFill(index.Tuple{i + 1})
+	}
+	return x
+}
+
+// TestSparseCGMatchesSequential verifies the distributed q = A·x
+// against the dense sequential product, across mixed distributions
+// (BLOCK vector gathered from an INDIRECT-partitioned one), on the
+// process-default engine (the spmd CI leg covers the parallel
+// backend).
+func TestSparseCGMatchesSequential(t *testing.T) {
+	const n, nnz, np = 200, 900, 4
+	sys := SparseMatrix(n, nnz, 7)
+	xm, err := PartitionMapping(n, np, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := Rank1Mapping(n, np, dist.Block{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewDefault(np, machine.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	c, err := NewSparseCG(eng, sys, xm, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := c.NewSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.GhostElements() == 0 {
+		t.Fatal("mixed-distribution SpMV should need halo traffic")
+	}
+	if err := sched.ExecuteN(3); err != nil {
+		t.Fatal(err)
+	}
+	want := sys.SeqMatVec(denseX(n))
+	got := c.Q.Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("q[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	rep := eng.Stats()
+	if rep.RemoteRefs == 0 || rep.Messages == 0 {
+		t.Fatalf("expected irregular communication, got %+v", rep)
+	}
+}
+
+// TestSparseCGStepBothEngines: the whole step (build, replay, reduce)
+// must agree between the backends on values and statistics.
+func TestSparseCGStepBothEngines(t *testing.T) {
+	const n, nnz, np, iters = 120, 600, 3, 2
+	sys := SparseMatrix(n, nnz, 11)
+	run := func(kind string) (machine.Report, float64) {
+		t.Helper()
+		eng, err := engine.New(kind, np, machine.DefaultCost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		xm, err := Rank1Mapping(n, np, dist.Cyclic{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm, err := Rank1Mapping(n, np, dist.Block{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, sum, err := SparseCGStep(eng, sys, iters, xm, qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, sum
+	}
+	simRep, simSum := run(engine.Sim)
+	spmdRep, spmdSum := run(engine.SPMD)
+	if simSum != spmdSum {
+		t.Fatalf("reduction: sim %g, spmd %g", simSum, spmdSum)
+	}
+	if simRep != spmdRep {
+		t.Fatalf("report mismatch:\n sim  %+v\n spmd %+v", simRep, spmdRep)
+	}
+}
+
+// TestEdgeSweepMatchesSequential verifies the unstructured-mesh edge
+// sweep against its dense reference on the process-default engine.
+func TestEdgeSweepMatchesSequential(t *testing.T) {
+	const n, chords, np = 150, 80, 5
+	m := RingMesh(n, chords, 13)
+	valMap, err := Rank1Mapping(n, np, dist.Block{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accMap, err := PartitionMapping(n, np, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewDefault(np, machine.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	val, err := eng.NewArray("VAL", valMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := eng.NewArray("ACC", accMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val.Fill(xFill)
+	sched, err := acc.NewIrregular(val, m.Pattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ExecuteN(2); err != nil {
+		t.Fatal(err)
+	}
+	want := m.SeqSweep(denseX(n))
+	got := acc.Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("acc[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEdgeSweepReportBothEngines pins the EdgeSweep entry point on
+// identical statistics across backends.
+func TestEdgeSweepReportBothEngines(t *testing.T) {
+	const n, chords, np = 90, 40, 3
+	m := RingMesh(n, chords, 17)
+	run := func(kind string) machine.Report {
+		t.Helper()
+		eng, err := engine.New(kind, np, machine.DefaultCost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		valMap, err := Rank1Mapping(n, np, dist.Block{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accMap, err := Rank1Mapping(n, np, dist.Cyclic{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := EdgeSweep(eng, m, 2, valMap, accMap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if sim, spmd := run(engine.Sim), run(engine.SPMD); sim != spmd {
+		t.Fatalf("report mismatch:\n sim  %+v\n spmd %+v", sim, spmd)
+	}
+}
+
+// TestIrregularAmortization is the schedule-reuse gate of the
+// acceptance criteria: on the 64k-nonzero sparse CG workload, a
+// steady-state (schedule-reused) iteration must be at least 5× faster
+// than the first (inspector + execute) iteration. Like the Jacobi
+// speedup gate it is opt-in (HPFNT_SPEEDUP=1) and skipped under the
+// race detector, since wall-clock ratios are meaningless on
+// instrumented runs. Unlike the Jacobi speedup gate it needs no
+// minimum core count: amortization compares analysis cost against
+// replay cost on the same backend, not parallel against sequential.
+func TestIrregularAmortization(t *testing.T) {
+	if os.Getenv("HPFNT_SPEEDUP") == "" {
+		t.Skip("wall-clock gate is opt-in: set HPFNT_SPEEDUP=1")
+	}
+	if engine.RaceEnabled {
+		t.Skip("wall-clock assertion skipped under -race")
+	}
+	const n, nnz, np, iters = 8192, 65536, 8, 50
+	sys := SparseMatrix(n, nnz, 23)
+	best := 0.0
+	var firstMS, steadyMS float64
+	for attempt := 0; attempt < 2; attempt++ {
+		first, steady, err := IrregularAmortization(engine.SPMD, sys, np, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := first / steady; ratio > best {
+			best, firstMS, steadyMS = ratio, first, steady
+		}
+	}
+	t.Logf("sparse CG %d nnz: first (inspector) %.2fms, steady %.3fms/iter, amortization %.1fx", nnz, firstMS, steadyMS, best)
+	if best < 5 {
+		t.Fatalf("schedule reuse amortization %.1fx < 5x (first %.2fms, steady %.3fms)", best, firstMS, steadyMS)
+	}
+}
