@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-spmd race-irregular bench speedup amortization fuzz fuzz-engine fuzz-irregular docs
+.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp node-smoke bench speedup amortization fuzz fuzz-engine fuzz-irregular docs
 
 check: fmt vet build test docs
 
@@ -29,6 +29,18 @@ race-spmd:
 # on the spmd engine, under the race detector.
 race-irregular:
 	HPFNT_ENGINE=spmd $(GO) test -race -count=1 -run 'Irregular|Gather|Scatter' ./internal/workload ./internal/engine ./hpf
+
+# The E1–E13 experiments and the workload/equivalence suites on the
+# spmd engine with every message over the tcp transport's loopback
+# sockets, under the race detector.
+race-tcp:
+	HPFNT_ENGINE=spmd HPFNT_TRANSPORT=tcp $(GO) test -race -count=1 ./internal/exper ./hpf ./internal/workload
+
+# A real 4-process localhost hpfnode job (8 ranks over the tcp
+# transport): the leader verifies that every workload produced values
+# and a machine.Report identical to the in-process engine.
+node-smoke:
+	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -workload all -n 64 -iters 5
 
 # Every internal package must carry a package-level godoc comment
 # (go doc prints "Package <name> ..." on its third line iff one

@@ -20,6 +20,7 @@ import (
 	"hpfnt/internal/machine"
 	"hpfnt/internal/proc"
 	"hpfnt/internal/runtime"
+	"hpfnt/internal/transport"
 	"hpfnt/internal/workload"
 )
 
@@ -483,3 +484,68 @@ func BenchmarkIrregularReplaySteady(b *testing.B) {
 		}
 	}
 }
+
+// benchGhostExchange builds the 256² row-blocked 5-point Jacobi
+// schedule on a spmd engine over the given transport and replays it:
+// per execution the schedule moves 14 boundary-row messages between
+// the 8 workers, so the per-iteration delta between the inproc and
+// tcp variants quantifies the wire's per-message overhead.
+func benchGhostExchange(b *testing.B, transportKind string) {
+	const n, np = 256, 8
+	eng, err := engine.NewOn(engine.SPMD, transportKind, np, machine.DefaultCost())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	am, err := workload.BlockRowMapping(n, np)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := workload.BlockRowMapping(n, np)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := workload.JacobiReplay(eng, n, 1, am, bm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := workload.JacobiReplay(eng, n, b.N, am, bm); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGhostExchangeTransportInproc/Tcp are the transport
+// overhead pair of cmd/hpfbench: the identical compiled ghost
+// exchange over buffered channels versus length-prefixed frames on
+// localhost sockets.
+func BenchmarkGhostExchangeTransportInproc(b *testing.B) {
+	benchGhostExchange(b, engine.InprocTransport)
+}
+
+func BenchmarkGhostExchangeTransportTcp(b *testing.B) {
+	benchGhostExchange(b, engine.TCPTransport)
+}
+
+// benchTransportMessage measures the raw per-message cost of one
+// rank-pair stream: a 16-element message bounced between two ranks.
+func benchTransportMessage(b *testing.B, kind string) {
+	tr, err := transport.New(kind, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	msg := make([]float64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Send(1, 2, msg)
+		if got := tr.Recv(1, 2); len(got) != len(msg) {
+			b.Fatalf("message truncated: %d elements", len(got))
+		}
+	}
+}
+
+func BenchmarkTransportMessageInproc(b *testing.B) { benchTransportMessage(b, transport.Inproc) }
+
+func BenchmarkTransportMessageTcp(b *testing.B) { benchTransportMessage(b, transport.TCP) }

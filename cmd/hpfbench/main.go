@@ -7,6 +7,7 @@
 //	hpfbench E2 E4                 # run selected experiments
 //	hpfbench -list                 # list experiment ids and titles
 //	hpfbench -engine spmd          # run on the parallel SPMD engine
+//	hpfbench -transport tcp        # spmd wire: inproc channels or tcp sockets
 //	hpfbench -json results.json    # emit per-experiment timings/verdicts
 //	hpfbench -speedup              # 512² Jacobi replay: sim vs spmd
 //	hpfbench -irregular            # sparse CG + edge sweep: schedule-reuse amortization
@@ -40,6 +41,7 @@ import (
 var (
 	list       = flag.Bool("list", false, "list experiments without running them")
 	engineKind = flag.String("engine", engine.Default, "execution backend: sim (sequential oracle) or spmd (parallel workers)")
+	transportK = flag.String("transport", engine.DefaultTransport, "spmd message transport: inproc (buffered channels) or tcp (localhost sockets)")
 	jsonOut    = flag.String("json", "", "write a JSON record of per-experiment timings and verdicts to this file (- for stdout)")
 	speedup    = flag.Bool("speedup", false, "run the 512² Jacobi schedule-replay speedup comparison (sim vs spmd)")
 	irregular  = flag.Bool("irregular", false, "run the irregular workloads (sparse CG gather, mesh edge sweep) and report schedule-reuse amortization")
@@ -94,6 +96,7 @@ type jsonIrregular struct {
 // jsonRecord is the full -json payload.
 type jsonRecord struct {
 	Engine      string         `json:"engine"`
+	Transport   string         `json:"transport"`
 	GoMaxProcs  int            `json:"gomaxprocs"`
 	Experiments []jsonResult   `json:"experiments"`
 	Speedup     *jsonSpeedup   `json:"speedup,omitempty"`
@@ -109,6 +112,10 @@ func main() {
 func run() int {
 	flag.Parse()
 	if err := engine.SetDefault(*engineKind); err != nil {
+		fmt.Fprintf(os.Stderr, "hpfbench: %v\n", err)
+		return 1
+	}
+	if err := engine.SetDefaultTransport(*transportK); err != nil {
 		fmt.Fprintf(os.Stderr, "hpfbench: %v\n", err)
 		return 1
 	}
@@ -162,7 +169,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "hpfbench: unknown experiment id among %v (see -list)\n", flag.Args())
 		return 1
 	}
-	record := jsonRecord{Engine: engine.Default, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	record := jsonRecord{Engine: engine.Default, Transport: engine.DefaultTransport, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	failed := 0
 	for _, e := range exper.Registry() {
 		if len(sel) > 0 && !sel[e.ID] {

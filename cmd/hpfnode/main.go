@@ -1,0 +1,208 @@
+// Command hpfnode is the multi-process SPMD worker daemon: N
+// processes join a named job over the tcp transport (length-prefixed
+// frames over localhost sockets, handshake carrying process rank
+// range and job generation) and execute the same deterministic
+// workloads the in-process engine runs — each process hosts its block
+// of the abstract processors, array values live only on their hosting
+// process, and ghost, remap, reduction and irregular-gather traffic
+// crosses real sockets. Usage:
+//
+//	# one command: spawn a 4-process job on localhost and verify it
+//	hpfnode -spawn -procs 4 -np 8 -workload all
+//
+//	# or launch the processes by hand (e.g. one per terminal/container)
+//	hpfnode -job demo -addr 127.0.0.1:9137 -procs 2 -self 0 -np 8 -workload jacobi
+//	hpfnode -job demo -addr 127.0.0.1:9137 -procs 2 -self 1 -np 8 -workload jacobi
+//
+// Process 0 (the leader) binds the rendezvous address, re-runs every
+// workload on a single-process in-process engine, and exits non-zero
+// unless the distributed run produced identical values and an
+// identical machine.Report — the acceptance check that the transport
+// changes where the program runs, not what it computes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"hpfnt/internal/engine"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/transport"
+	"hpfnt/internal/workload"
+)
+
+var (
+	job      = flag.String("job", "hpfnt", "job name; all members must agree")
+	addr     = flag.String("addr", "127.0.0.1:0", "leader rendezvous address (host:port); port 0 auto-picks (only useful with -spawn)")
+	procs    = flag.Int("procs", 2, "number of OS processes in the job")
+	self     = flag.Int("self", 0, "this process's index (0 = leader)")
+	np       = flag.Int("np", 8, "abstract processor (worker rank) count, partitioned over the processes")
+	wl       = flag.String("workload", "all", "workload to run: jacobi, cg, edgesweep or all")
+	size     = flag.Int("n", 64, "problem size")
+	iters    = flag.Int("iters", 5, "schedule replay iterations")
+	gen      = flag.Int("gen", 1, "job generation; stale-generation workers are refused at the handshake")
+	spawn    = flag.Bool("spawn", false, "leader convenience: spawn the other -procs processes of this job on localhost")
+	noverify = flag.Bool("noverify", false, "leader: skip the single-process verification run")
+	timeout  = flag.Duration("timeout", 30*time.Second, "bootstrap timeout")
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	flag.Parse()
+	var names []string
+	if *wl == "all" {
+		names = workload.NodeWorkloads()
+	} else {
+		names = []string{*wl}
+	}
+	rendezvous := *addr
+	var children []*exec.Cmd
+	if *spawn {
+		if *self != 0 {
+			fmt.Fprintln(os.Stderr, "hpfnode: -spawn is only valid on the leader (-self 0)")
+			return 1
+		}
+		var err error
+		rendezvous, err = resolveAddr(rendezvous)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfnode: %v\n", err)
+			return 1
+		}
+		children, err = spawnPeers(rendezvous)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfnode: %v\n", err)
+			return 1
+		}
+	}
+	code := runMember(rendezvous, names)
+	for i, c := range children {
+		if err := c.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "hpfnode: worker process %d: %v\n", i+1, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// resolveAddr replaces a ":0" rendezvous port with a concrete free
+// one, so the spawned peers can be told where to dial.
+func resolveAddr(a string) (string, error) {
+	ln, err := net.Listen("tcp", a)
+	if err != nil {
+		return "", err
+	}
+	resolved := ln.Addr().String()
+	ln.Close()
+	return resolved, nil
+}
+
+// spawnPeers launches processes 1..procs-1 of this job as children of
+// the leader, re-executing this binary.
+func spawnPeers(rendezvous string) ([]*exec.Cmd, error) {
+	bin, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	var children []*exec.Cmd
+	for i := 1; i < *procs; i++ {
+		c := exec.Command(bin,
+			"-job", *job, "-addr", rendezvous,
+			"-procs", strconv.Itoa(*procs), "-self", strconv.Itoa(i),
+			"-np", strconv.Itoa(*np), "-workload", *wl,
+			"-n", strconv.Itoa(*size), "-iters", strconv.Itoa(*iters),
+			"-gen", strconv.Itoa(*gen), "-timeout", timeout.String())
+		c.Stdout = os.Stdout
+		c.Stderr = os.Stderr
+		if err := c.Start(); err != nil {
+			for _, prev := range children {
+				prev.Process.Kill()
+				prev.Wait()
+			}
+			return nil, fmt.Errorf("spawning worker process %d: %w", i, err)
+		}
+		children = append(children, c)
+	}
+	return children, nil
+}
+
+// runMember is one process's life in the job: join the mesh, run the
+// workloads in lockstep with the other members, and (on the leader)
+// verify against the in-process engine.
+func runMember(rendezvous string, names []string) int {
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Job: *job, NP: *np, Procs: *procs, Self: *self,
+		Generation: *gen, Addr: rendezvous, Timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpfnode[%d]: joining job %q: %v\n", *self, *job, err)
+		return 1
+	}
+	lo, hi := transport.RanksOf(*np, *procs, *self)
+	fmt.Printf("hpfnode[%d]: joined job %q gen %d: %d procs, ranks %d..%d of %d\n",
+		*self, *job, *gen, *procs, lo, hi, *np)
+	eng, err := engine.NewSPMDOn(tr, machine.DefaultCost())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpfnode[%d]: %v\n", *self, err)
+		tr.Close()
+		return 1
+	}
+	defer eng.Close()
+	code := 0
+	for _, name := range names {
+		res, err := workload.RunNode(eng, name, *size, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfnode[%d]: %s: %v\n", *self, name, err)
+			return 1
+		}
+		if *self != 0 {
+			continue
+		}
+		fmt.Printf("hpfnode[0]: %-9s n=%d iters=%d: %s\n", name, *size, *iters, res.Report)
+		if *noverify {
+			continue
+		}
+		if err := verify(name, res); err != nil {
+			fmt.Fprintf(os.Stderr, "hpfnode[0]: %s: VERIFY FAILED: %v\n", name, err)
+			code = 1
+		} else {
+			fmt.Printf("hpfnode[0]: %-9s verified against the in-process engine (values + report identical)\n", name)
+		}
+	}
+	return code
+}
+
+// verify re-runs the workload on a single-process in-process spmd
+// engine and demands identical values and an identical machine
+// report.
+func verify(name string, got workload.NodeResult) error {
+	ref, err := engine.NewOn(engine.SPMD, engine.InprocTransport, *np, machine.DefaultCost())
+	if err != nil {
+		return err
+	}
+	defer ref.Close()
+	want, err := workload.RunNode(ref, name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	if got.Report != want.Report {
+		return fmt.Errorf("report mismatch:\n  job        %+v\n  in-process %+v", got.Report, want.Report)
+	}
+	if got.Sum != want.Sum {
+		return fmt.Errorf("reduction mismatch: job %g, in-process %g", got.Sum, want.Sum)
+	}
+	if len(got.Data) != len(want.Data) {
+		return fmt.Errorf("value vector length mismatch: job %d, in-process %d", len(got.Data), len(want.Data))
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			return fmt.Errorf("value mismatch at offset %d: job %g, in-process %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	return nil
+}

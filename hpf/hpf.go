@@ -153,6 +153,16 @@ func SetDefaultEngine(kind string) error { return engine.SetDefault(kind) }
 // DefaultEngine reports the current default execution backend.
 func DefaultEngine() string { return engine.Default }
 
+// SetDefaultTransport selects the spmd backend's message transport
+// ("inproc" or "tcp") for subsequently created programs and workload
+// sweeps. The initial default comes from the HPFNT_TRANSPORT
+// environment variable (falling back to "inproc"). The sim backend
+// performs no communication and ignores the transport.
+func SetDefaultTransport(kind string) error { return engine.SetDefaultTransport(kind) }
+
+// DefaultTransport reports the current default spmd transport.
+func DefaultTransport() string { return engine.DefaultTransport }
+
 // NewProgram creates a program over np abstract processors with the
 // default cost model, on the default execution backend.
 func NewProgram(name string, np int) (*Program, error) {
@@ -166,13 +176,20 @@ func NewProgramCost(name string, np int, cost machine.CostModel) (*Program, erro
 }
 
 // NewProgramEngine creates a program on an explicit execution
-// backend ("sim" or "spmd").
+// backend ("sim" or "spmd"), on the default transport.
 func NewProgramEngine(name, kind string, np int, cost machine.CostModel) (*Program, error) {
+	return NewProgramTransport(name, kind, engine.DefaultTransport, np, cost)
+}
+
+// NewProgramTransport creates a program on an explicit execution
+// backend and spmd message transport ("inproc" or "tcp"): the
+// programmatic form of the HPFNT_ENGINE / HPFNT_TRANSPORT selection.
+func NewProgramTransport(name, kind, transportKind string, np int, cost machine.CostModel) (*Program, error) {
 	sys, err := proc.NewSystem(np)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(kind, np, cost)
+	eng, err := engine.NewOn(kind, transportKind, np, cost)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,9 @@ type scenario struct {
 	shift    [2]int
 	srcRep   bool // use a replicated source term
 	replayIt int
+	// tkind is the spmd transport the scenario runs on ("inproc" or
+	// "tcp"); the sim backend performs no communication.
+	tkind string
 }
 
 type outcome struct {
@@ -82,7 +85,11 @@ func (sc scenario) run(t *testing.T, kind string) outcome {
 	dom := index.Standard(1, sc.n, 1, sc.n)
 	m1 := buildMapping(t, sys, dom, sc.f1)
 	m2 := buildMapping(t, sys, dom, sc.f2)
-	eng, err := New(kind, sc.np, machine.DefaultCost())
+	tkind := sc.tkind
+	if tkind == "" {
+		tkind = InprocTransport
+	}
+	eng, err := NewOn(kind, tkind, sc.np, machine.DefaultCost())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,18 +194,23 @@ func formatFor(sel, k uint8, n, np int) dist.Format {
 
 // FuzzEngineEquivalence is the differential fuzz target of the spmd
 // engine against the sequential oracle: for random formats, shifts,
-// replicated sources and remaps, both backends must produce identical
-// array values, identical remap counts, identical reduction results
-// and an identical machine.Report.
+// replicated sources, remaps and transports (inproc channels or tcp
+// loopback sockets), both backends must produce identical array
+// values, identical remap counts, identical reduction results and an
+// identical machine.Report.
 func FuzzEngineEquivalence(f *testing.F) {
-	f.Add(uint8(4), uint8(12), uint8(0), uint8(2), uint8(0), uint8(1), uint8(2), false)
-	f.Add(uint8(3), uint8(9), uint8(2), uint8(4), uint8(3), uint8(3), uint8(3), false)
-	f.Add(uint8(5), uint8(16), uint8(4), uint8(1), uint8(7), uint8(2), uint8(0), true)
-	f.Add(uint8(2), uint8(7), uint8(3), uint8(0), uint8(1), uint8(4), uint8(2), false)
-	f.Add(uint8(6), uint8(10), uint8(1), uint8(4), uint8(9), uint8(2), uint8(2), true)
-	f.Fuzz(func(t *testing.T, npB, nB, sel1, sel2, k, sh0, sh1 uint8, srcRep bool) {
+	f.Add(uint8(4), uint8(12), uint8(0), uint8(2), uint8(0), uint8(1), uint8(2), false, false)
+	f.Add(uint8(3), uint8(9), uint8(2), uint8(4), uint8(3), uint8(3), uint8(3), false, true)
+	f.Add(uint8(5), uint8(16), uint8(4), uint8(1), uint8(7), uint8(2), uint8(0), true, false)
+	f.Add(uint8(2), uint8(7), uint8(3), uint8(0), uint8(1), uint8(4), uint8(2), false, true)
+	f.Add(uint8(6), uint8(10), uint8(1), uint8(4), uint8(9), uint8(2), uint8(2), true, true)
+	f.Fuzz(func(t *testing.T, npB, nB, sel1, sel2, k, sh0, sh1 uint8, srcRep, tcpWire bool) {
 		np := int(npB%7) + 2
 		n := int(nB%20) + 4
+		tkind := InprocTransport
+		if tcpWire {
+			tkind = TCPTransport
+		}
 		sc := scenario{
 			np:       np,
 			n:        n,
@@ -207,6 +219,7 @@ func FuzzEngineEquivalence(f *testing.F) {
 			shift:    [2]int{int(sh0%5) - 2, int(sh1%5) - 2},
 			srcRep:   srcRep,
 			replayIt: 2,
+			tkind:    tkind,
 		}
 		sim := sc.run(t, Sim)
 		spmd := sc.run(t, SPMD)

@@ -10,7 +10,13 @@
 // The process-wide default backend is "sim"; it can be switched with
 // the HPFNT_ENGINE environment variable or by assigning Default
 // before programs are built (cmd/hpfbench does so for its -engine
-// flag).
+// flag). The spmd backend's wire is pluggable in the same way
+// (package transport): HPFNT_TRANSPORT or SetDefaultTransport selects
+// between "inproc" (buffered channels, the default) and "tcp"
+// (length-prefixed frames over localhost sockets); sim performs no
+// communication and ignores the transport. Multi-process spmd
+// engines are built directly over a joined transport with
+// NewSPMDOn (see cmd/hpfnode).
 package engine
 
 import (
@@ -22,6 +28,7 @@ import (
 	"hpfnt/internal/inspector"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/runtime"
+	"hpfnt/internal/transport"
 )
 
 // The backend kinds.
@@ -33,14 +40,34 @@ const (
 	SPMD = "spmd"
 )
 
+// The transport kinds of the spmd backend (re-exported from package
+// transport).
+const (
+	// InprocTransport is the in-process channel wire (the default).
+	InprocTransport = transport.Inproc
+	// TCPTransport carries the same streams as length-prefixed frames
+	// over localhost sockets (single-process loopback here; joined
+	// multi-process jobs are built via NewSPMDOn).
+	TCPTransport = transport.TCP
+)
+
 // EnvVar names the environment variable consulted for the default
 // backend at process start.
 const EnvVar = "HPFNT_ENGINE"
+
+// TransportEnvVar names the environment variable consulted for the
+// spmd backend's default transport at process start.
+const TransportEnvVar = "HPFNT_TRANSPORT"
 
 // Default is the backend kind used by NewDefault (and therefore by
 // hpf.NewProgram and the workload sweeps). It initializes from
 // HPFNT_ENGINE, falling back to "sim".
 var Default = defaultKind()
+
+// DefaultTransport is the transport used by spmd engines created
+// through New/NewDefault. It initializes from HPFNT_TRANSPORT,
+// falling back to "inproc".
+var DefaultTransport = defaultTransport()
 
 func defaultKind() string {
 	if v := os.Getenv(EnvVar); v != "" {
@@ -49,8 +76,18 @@ func defaultKind() string {
 	return Sim
 }
 
+func defaultTransport() string {
+	if v := os.Getenv(TransportEnvVar); v != "" {
+		return v
+	}
+	return transport.Inproc
+}
+
 // Kinds lists the available backend kinds.
 func Kinds() []string { return []string{Sim, SPMD} }
+
+// Transports lists the available transport kinds.
+func Transports() []string { return transport.Kinds() }
 
 // SetDefault validates kind and installs it as the process-wide
 // default backend.
@@ -62,6 +99,18 @@ func SetDefault(kind string) error {
 		}
 	}
 	return fmt.Errorf("engine: unknown backend %q (have %v)", kind, Kinds())
+}
+
+// SetDefaultTransport validates kind and installs it as the
+// process-wide default transport for spmd engines.
+func SetDefaultTransport(kind string) error {
+	for _, k := range transport.Kinds() {
+		if k == kind {
+			DefaultTransport = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: unknown transport %q (have %v)", kind, transport.Kinds())
 }
 
 // ReduceOp selects a reduction operator (shared with the runtime).
@@ -153,16 +202,51 @@ type Schedule interface {
 }
 
 // New creates a backend of the given kind with np abstract processors
-// and the given cost model.
+// and the given cost model, on the DefaultTransport (spmd only; sim
+// performs no communication).
 func New(kind string, np int, cost machine.CostModel) (Engine, error) {
+	return NewOn(kind, DefaultTransport, np, cost)
+}
+
+// NewOn creates a backend of the given kind on an explicit transport
+// kind. For spmd, "inproc" is the channel wire and "tcp" the
+// single-process socket loopback; the sim backend ignores the
+// transport (it still validates the name).
+func NewOn(kind, transportKind string, np int, cost machine.CostModel) (Engine, error) {
 	switch kind {
 	case Sim:
+		// Sim never constructs a transport, so validate the name here
+		// to keep selection errors uniform across backends.
+		if err := validTransport(transportKind); err != nil {
+			return nil, err
+		}
 		return newSim(np, cost)
 	case SPMD:
-		return newSPMD(np, cost)
+		tr, err := transport.New(transportKind, np)
+		if err != nil {
+			return nil, err
+		}
+		return newSPMDOn(tr, cost)
 	default:
 		return nil, fmt.Errorf("engine: unknown backend %q (have %v)", kind, Kinds())
 	}
+}
+
+func validTransport(kind string) error {
+	for _, k := range transport.Kinds() {
+		if k == kind {
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: unknown transport %q (have %v)", kind, transport.Kinds())
+}
+
+// NewSPMDOn creates a spmd backend over an existing (possibly
+// multi-process, already joined) transport. The engine owns the
+// transport: Close closes it. This is how cmd/hpfnode builds the
+// engine of a distributed job.
+func NewSPMDOn(tr transport.Transport, cost machine.CostModel) (Engine, error) {
+	return newSPMDOn(tr, cost)
 }
 
 // NewDefault creates a backend of the Default kind.

@@ -8,6 +8,7 @@ import (
 	"hpfnt/internal/inspector"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/spmd"
+	"hpfnt/internal/transport"
 )
 
 // spmdEngine adapts the parallel SPMD engine to the backend
@@ -16,9 +17,10 @@ type spmdEngine struct {
 	e *spmd.Engine
 }
 
-func newSPMD(np int, cost machine.CostModel) (Engine, error) {
-	e, err := spmd.New(np, cost)
+func newSPMDOn(tr transport.Transport, cost machine.CostModel) (Engine, error) {
+	e, err := spmd.NewOn(tr, cost)
 	if err != nil {
+		tr.Close()
 		return nil, err
 	}
 	return &spmdEngine{e: e}, nil

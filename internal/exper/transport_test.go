@@ -1,0 +1,43 @@
+package exper
+
+import (
+	"testing"
+
+	"hpfnt/internal/engine"
+)
+
+// TestExperimentsTransportEquivalence runs every reproduction
+// experiment E1–E13 on the parallel engine over both transports: the
+// rendered result — measurement tables and claim verdicts, all
+// derived from array values and machine counters — must be identical
+// on the inproc channels and the tcp sockets, and every claim check
+// must pass on both.
+func TestExperimentsTransportEquivalence(t *testing.T) {
+	oldE, oldT := engine.Default, engine.DefaultTransport
+	defer func() { engine.Default, engine.DefaultTransport = oldE, oldT }()
+	engine.Default = engine.SPMD
+	renders := map[string]map[string]string{}
+	for _, tkind := range engine.Transports() {
+		engine.DefaultTransport = tkind
+		renders[tkind] = map[string]string{}
+		for _, e := range Registry() {
+			r, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s on %s: %v", e.ID, tkind, err)
+			}
+			if !r.Passed() {
+				t.Errorf("%s on %s: claim checks failed:\n%s", e.ID, tkind, r.Render())
+			}
+			renders[tkind][e.ID] = r.Render()
+		}
+	}
+	base := renders[engine.Transports()[0]]
+	for _, tkind := range engine.Transports()[1:] {
+		for id, want := range base {
+			if got := renders[tkind][id]; got != want {
+				t.Errorf("%s: results differ between transports:\n-- %s --\n%s\n-- %s --\n%s",
+					id, engine.Transports()[0], want, tkind, got)
+			}
+		}
+	}
+}

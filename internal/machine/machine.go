@@ -166,6 +166,64 @@ func (m *Machine) Stats() Report {
 	return r
 }
 
+// EncodeCounters flattens the machine's raw counters into a float64
+// vector (counts stay far below 2^53, so the encoding is exact) for
+// shipment between the processes of a multi-process spmd job:
+// [localRefs, remoteRefs, load(1..NP), sendElems(1..NP),
+// recvElems(1..NP), sendMsgs(1..NP), recvMsgs(1..NP), pairCount,
+// (src, dst, msgs, elems)...]. MergeCounters is its inverse-and-add.
+func (m *Machine) EncodeCounters() []float64 {
+	out := make([]float64, 0, 2+5*m.NP+1+4*len(m.msgs))
+	out = append(out, float64(m.localRefs), float64(m.remoteRefs))
+	for _, vec := range [][]int64{m.load, m.sendElems, m.recvElems, m.sendMsgs, m.recvMsgs} {
+		for p := 1; p <= m.NP; p++ {
+			out = append(out, float64(vec[p]))
+		}
+	}
+	tm := m.TrafficMatrix()
+	out = append(out, float64(len(tm)))
+	for _, e := range tm {
+		out = append(out, float64(e.Src), float64(e.Dst), float64(e.Messages), float64(e.Elements))
+	}
+	return out
+}
+
+// MergeCounters adds a counter vector produced by EncodeCounters on a
+// machine of the same shape — the per-process shares of one job sum
+// to the job-wide counters, because every event (send, load, local or
+// remote reference) is charged by exactly one process.
+func (m *Machine) MergeCounters(enc []float64) error {
+	head := 2 + 5*m.NP + 1
+	if len(enc) < head {
+		return fmt.Errorf("machine: counter vector has %d entries, want at least %d", len(enc), head)
+	}
+	npairs := int(enc[head-1])
+	if len(enc) != head+4*npairs {
+		return fmt.Errorf("machine: counter vector has %d entries, want %d for %d pairs", len(enc), head+4*npairs, npairs)
+	}
+	m.localRefs += int64(enc[0])
+	m.remoteRefs += int64(enc[1])
+	i := 2
+	for _, vec := range [][]int64{m.load, m.sendElems, m.recvElems, m.sendMsgs, m.recvMsgs} {
+		for p := 1; p <= m.NP; p++ {
+			vec[p] += int64(enc[i])
+			i++
+		}
+	}
+	i++ // pair count
+	for k := 0; k < npairs; k++ {
+		src, dst := int(enc[i]), int(enc[i+1])
+		if src < 1 || src > m.NP || dst < 1 || dst > m.NP {
+			return fmt.Errorf("machine: counter pair (%d,%d) out of range 1..%d", src, dst, m.NP)
+		}
+		key := pair{src, dst}
+		m.msgs[key] += int(enc[i+2])
+		m.elems[key] += int(enc[i+3])
+		i += 4
+	}
+	return nil
+}
+
 // PerProcessorLoad returns a copy of the per-processor load vector
 // (index 1..NP).
 func (m *Machine) PerProcessorLoad() []int64 {

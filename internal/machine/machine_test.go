@@ -147,3 +147,40 @@ func TestTable(t *testing.T) {
 		t.Fatalf("Table = %q", out)
 	}
 }
+
+// TestEncodeMergeCounters checks that per-process counter shares sum
+// to the whole: a machine's activity split across two machines and
+// merged back must reproduce the original report exactly.
+func TestEncodeMergeCounters(t *testing.T) {
+	const np = 4
+	whole, _ := New(np, DefaultCost())
+	a, _ := New(np, DefaultCost())
+	b, _ := New(np, DefaultCost())
+	charge := func(ms ...*Machine) {
+		for _, m := range ms {
+			m.Send(1, 3, 7)
+			m.Send(1, 3, 7)
+			m.Send(2, 4, 11)
+			m.AddLoad(1, 5)
+			m.RecordLocal(13)
+		}
+	}
+	charge(whole, a)
+	for _, m := range []*Machine{whole, b} {
+		m.Send(4, 2, 3)
+		m.AddLoad(3, 9)
+		m.RecordRemote(6)
+	}
+	merged, _ := New(np, DefaultCost())
+	for _, part := range [][]float64{a.EncodeCounters(), b.EncodeCounters()} {
+		if err := merged.MergeCounters(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := merged.Stats(), whole.Stats(); got != want {
+		t.Fatalf("merged report:\n got  %+v\n want %+v", got, want)
+	}
+	if err := merged.MergeCounters([]float64{1, 2, 3}); err == nil {
+		t.Fatal("short counter vector must be rejected")
+	}
+}

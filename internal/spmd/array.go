@@ -35,10 +35,14 @@ type layout struct {
 	stores []*store
 }
 
-// buildLayout derives the local storage layout of a mapping: the
+// buildLayout derives the local storage layout of a mapping on e: the
 // single-owner tile decomposition when one exists, the replicated
-// grid otherwise.
-func buildLayout(np int, m core.ElementMapping) (*layout, error) {
+// grid otherwise. The slot metadata (offsets, owner grids) is built
+// for every rank — all processes of a job derive the identical layout
+// — but value storage is allocated only for the ranks this process
+// hosts.
+func buildLayout(e *Engine, m core.ElementMapping) (*layout, error) {
+	np := e.np
 	dom := m.Domain()
 	size := dom.Size()
 	l := &layout{stores: make([]*store, np+1)}
@@ -95,6 +99,9 @@ func buildLayout(np int, m core.ElementMapping) (*layout, error) {
 		return nil, err
 	}
 	for p := 1; p <= np; p++ {
+		if !e.hosted(p) {
+			continue
+		}
 		st := l.stores[p]
 		st.data = make([]float64, len(st.offsets))
 	}
@@ -119,7 +126,7 @@ type Array struct {
 // NewArray materializes a zero-initialized distributed array with
 // local-only storage laid out from the mapping's owner tiles.
 func (e *Engine) NewArray(name string, m core.ElementMapping) (*Array, error) {
-	l, err := buildLayout(e.np, m)
+	l, err := buildLayout(e, m)
 	if err != nil {
 		return nil, fmt.Errorf("spmd: materializing %s: %w", name, err)
 	}
@@ -177,17 +184,33 @@ func (l *layout) slotOf(p, off int) int32 {
 }
 
 // At reads the element at tuple t (from its first owner's segment).
-// Only valid between engine operations.
+// Only valid between engine operations. On a multi-process transport
+// this is a collective — every process calls it at the same point and
+// the owner's host broadcasts the value.
 func (a *Array) At(t index.Tuple) float64 {
 	off, ok := a.dom.Offset(t)
 	if !ok {
 		panic(fmt.Sprintf("spmd: %s: index %s out of domain %s", a.name, t, a.dom))
 	}
 	p := a.lay.firstOwner(off)
-	return a.lay.stores[p].data[a.lay.slotOf(p, off)]
+	tr := a.eng.tr
+	if tr.Procs() == 1 {
+		return a.lay.stores[p].data[a.lay.slotOf(p, off)]
+	}
+	var vals []float64
+	if a.eng.hosted(p) {
+		vals = []float64{a.lay.stores[p].data[a.lay.slotOf(p, off)]}
+	}
+	out := tr.Bcast(tr.HostOf(p), vals)
+	if len(out) == 0 {
+		return 0 // failed job
+	}
+	return out[0]
 }
 
-// Set writes the element at tuple t into every owner's copy.
+// Set writes the element at tuple t into every owner's copy (each
+// process writes the copies it hosts; no communication is needed when
+// every process executes the same Set).
 func (a *Array) Set(t index.Tuple, v float64) {
 	off, ok := a.dom.Offset(t)
 	if !ok {
@@ -195,16 +218,23 @@ func (a *Array) Set(t index.Tuple, v float64) {
 	}
 	var scratch [1]int
 	for _, p := range a.lay.appendOwners(scratch[:0], off) {
+		if !a.eng.hosted(p) {
+			continue
+		}
 		a.lay.stores[p].data[a.lay.slotOf(p, off)] = v
 	}
 }
 
 // Fill initializes every element from fn, each worker filling its own
 // segment concurrently. fn must be pure: replicated elements are
-// computed once per copy.
+// computed once per copy, and in a multi-process job every process
+// fills only the segments it hosts. A panic in fn fails the engine;
+// the error surfaces from the next dispatched operation.
 func (a *Array) Fill(fn func(t index.Tuple) float64) {
 	lay, dom := a.lay, a.dom
-	a.eng.run(func(p int) {
+	// The error is sticky on the engine; Fill itself has no error
+	// return in the backend interface.
+	_ = a.eng.run(func(p int) {
 		st := lay.stores[p]
 		for k, off := range st.offsets {
 			st.data[k] = fn(dom.TupleAt(int(off)))
@@ -214,12 +244,34 @@ func (a *Array) Fill(fn func(t index.Tuple) float64) {
 
 // Data materializes the dense column-major global value vector (from
 // each element's first owner), for verification against the
-// sequential oracle. It is not on any hot path.
+// sequential oracle. It is not on any hot path. On a multi-process
+// transport this is a collective: each rank's segment is broadcast
+// from its host, and every process returns the identical vector.
 func (a *Array) Data() []float64 {
 	out := make([]float64, a.dom.Size())
-	for off := range out {
-		p := a.lay.firstOwner(off)
-		out[off] = a.lay.stores[p].data[a.lay.slotOf(p, off)]
+	tr := a.eng.tr
+	if tr.Procs() == 1 {
+		for off := range out {
+			p := a.lay.firstOwner(off)
+			out[off] = a.lay.stores[p].data[a.lay.slotOf(p, off)]
+		}
+		return out
+	}
+	// Scatter segments in descending rank order so the lowest-ranked
+	// owner's copy lands last, matching the first-owner read of the
+	// single-process path for replicated arrays.
+	for p := a.eng.np; p >= 1; p-- {
+		st := a.lay.stores[p]
+		var vals []float64
+		if a.eng.hosted(p) {
+			vals = st.data
+		}
+		seg := tr.Bcast(tr.HostOf(p), vals)
+		for k, off := range st.offsets {
+			if k < len(seg) {
+				out[off] = seg[k]
+			}
+		}
 	}
 	return out
 }

@@ -1,16 +1,29 @@
 // Package spmd is the parallel SPMD execution engine: the abstract
 // processors of the mapping model become real concurrent workers, one
 // goroutine per processor, each owning only the local segments of
-// every distributed array (no dense global backing on the hot path).
+// every distributed array (no dense global backing on hot paths).
 // Array statements execute as compiled schedules — each worker sweeps
 // its owned tiles and exchanges ghost regions with its neighbours as
-// actual per-pair channel messages — while remaps ship whole ownership
+// actual per-pair messages — while remaps ship whole ownership
 // changes the same way. Communication and load are counted per worker
 // and aggregated into the same machine.Report the sequential simulator
 // produces, so the two backends are differentially testable: for any
 // program the spmd engine must compute identical array values and
 // identical machine statistics to the sequential runtime, which serves
 // as its oracle (see package runtime).
+//
+// The wire under the workers is pluggable (package transport): the
+// inproc transport keeps today's capacity-1 buffered channel per
+// ordered worker pair, and the tcp transport carries the same streams
+// as length-prefixed frames over localhost sockets, so an engine can
+// span several OS processes (cmd/hpfnode). In a multi-process job
+// every process runs the same deterministic control flow — mappings,
+// layouts and compiled plans are replicated metadata — but each
+// process allocates array values and executes worker epochs only for
+// the ranks it hosts; element access (At, Data), reductions and Stats
+// become small collectives over the transport. With one process the
+// behavior and statistics are identical to the historical in-process
+// engine, byte for byte.
 //
 // Local storage is laid out from the run-length ownership kernel
 // (core.AppendOwnerTilesOf): a worker's segment of an array is the
@@ -20,7 +33,15 @@
 // execution, mirroring BuildSchedule/Execute of the sequential
 // runtime. Irregular (indirection-array) statements compile through
 // the inspector–executor kernel of package inspector instead and are
-// lowered here to the same slot/channel machinery (IrregularSchedule).
+// lowered here to the same slot/stream machinery (IrregularSchedule).
+//
+// A worker that panics (a user Fill function, a broken wire) does not
+// leave its peers deadlocked on the streams: the panic is recovered,
+// the transport fails over into its sticky aborted state (unblocking
+// every peer), and the failure surfaces as an error from the
+// dispatching operation (Execute/ExecuteN/Remap/Reduce). A failed
+// engine stays failed — its stores may be inconsistent — and every
+// subsequent operation returns the same error.
 package spmd
 
 import (
@@ -29,14 +50,15 @@ import (
 	"sync"
 
 	"hpfnt/internal/machine"
+	"hpfnt/internal/transport"
 )
 
 // Barrier is a reusable epoch barrier for a fixed number of parties.
 // Await blocks until every party has arrived, then releases them all
 // and resets for the next epoch. The engine uses one barrier of
-// NP+1 parties (the workers plus the dispatcher) to delimit epochs:
-// one dispatched operation per epoch, with all worker stores
-// quiescent between epochs.
+// local-workers+1 parties (the hosted workers plus the dispatcher) to
+// delimit epochs: one dispatched operation per epoch, with all worker
+// stores quiescent between epochs.
 type Barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -82,95 +104,159 @@ func (b *Barrier) Epoch() uint64 {
 }
 
 // Engine executes distributed-array operations on np concurrent
-// workers (abstract processors 1..np). Workers are spawned lazily on
-// the first dispatched operation and run until Close. All methods
-// must be called from a single client goroutine; the operations
-// themselves run concurrently across the workers.
+// workers (abstract processors 1..np), or on this process's share of
+// them when the transport spans several processes. Workers are
+// spawned lazily on the first dispatched operation and run until
+// Close. All methods must be called from a single client goroutine;
+// the operations themselves run concurrently across the workers.
 type Engine struct {
-	np   int
+	np int
+	tr transport.Transport
+	// mach holds this process's share of the counters; on a
+	// single-process transport that is the whole machine.
 	mach *machine.Machine
 	// statsMu guards mach: workers flush their per-operation counters
 	// into it, once per worker per epoch.
 	statsMu sync.Mutex
 
 	bar *Barrier
-	// chans[s-1][d-1] carries the aggregated messages from worker s to
-	// worker d. Capacity 1: within one epoch each ordered pair
-	// exchanges at most one in-flight message per iteration, and every
-	// worker sends all its outgoing messages before receiving, so
-	// sends never deadlock.
-	chans   [][]chan []float64
+	// local lists the ranks hosted by this process, ascending;
+	// localSet is its membership grid (index 1..np).
+	local    []int
+	localSet []bool
+	// workers[p-1] is rank p's command channel (nil for remote ranks).
 	workers []chan func(p int)
 
 	startOnce sync.Once
 	closeOnce sync.Once
 }
 
-// New creates an engine with np workers and a machine with the given
-// cost model for the aggregated counters.
+// New creates an engine with np workers on the in-process transport
+// and a machine with the given cost model for the aggregated
+// counters.
 func New(np int, cost machine.CostModel) (*Engine, error) {
+	return NewOn(transport.NewInproc(np), cost)
+}
+
+// NewOn creates an engine over an existing transport, which defines
+// the worker count and (for multi-process transports) which ranks
+// this process hosts. The engine owns the transport: Close closes it.
+func NewOn(tr transport.Transport, cost machine.CostModel) (*Engine, error) {
+	np := tr.NP()
 	m, err := machine.New(np, cost)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{np: np, mach: m, bar: NewBarrier(np + 1)}
-	e.chans = make([][]chan []float64, np)
-	for s := range e.chans {
-		e.chans[s] = make([]chan []float64, np)
-		for d := range e.chans[s] {
-			e.chans[s][d] = make(chan []float64, 1)
+	e := &Engine{np: np, tr: tr, mach: m}
+	e.localSet = make([]bool, np+1)
+	for p := 1; p <= np; p++ {
+		if tr.HostOf(p) == tr.Self() {
+			e.local = append(e.local, p)
+			e.localSet[p] = true
 		}
 	}
+	if len(e.local) == 0 {
+		return nil, fmt.Errorf("spmd: process %d hosts no ranks (np=%d, procs=%d)", tr.Self(), np, tr.Procs())
+	}
+	e.bar = NewBarrier(len(e.local) + 1)
 	// Backstop for engines dropped without Close: the worker
-	// goroutines reference only their command channels and the
-	// barrier, never the Engine itself, so an unreachable engine is
-	// collectable and its finalizer shuts the workers down.
-	gort.SetFinalizer(e, func(e *Engine) { e.Close() })
+	// goroutines reference only their command channels, the barrier
+	// and the transport, never the Engine itself, so an unreachable
+	// engine is collectable and its finalizer shuts the workers down.
+	// Multi-process engines are excluded — their Close performs a
+	// collective shutdown barrier, which must never run on (and
+	// potentially wedge) the runtime's finalizer goroutine; a
+	// distributed job closes explicitly (cmd/hpfnode does).
+	if tr.Procs() == 1 {
+		gort.SetFinalizer(e, func(e *Engine) { e.Close() })
+	}
 	return e, nil
 }
 
-// NP reports the number of workers.
+// NP reports the number of workers (across all processes).
 func (e *Engine) NP() int { return e.np }
 
-// Machine exposes the aggregated counter machine. Safe to read
-// between operations.
+// Transport exposes the engine's transport.
+func (e *Engine) Transport() transport.Transport { return e.tr }
+
+// Machine exposes this process's counter machine. Safe to read
+// between operations; on a multi-process transport it holds only the
+// locally-charged share (Stats aggregates across the job).
 func (e *Engine) Machine() *machine.Machine { return e.mach }
 
-// Stats snapshots the aggregated counters.
+// Stats snapshots the job-wide counters. On a multi-process
+// transport this is a collective: every process must call it at the
+// same point of the replicated control flow, and every process
+// returns the identical aggregated report.
 func (e *Engine) Stats() machine.Report {
+	if e.tr.Procs() == 1 {
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+		return e.mach.Stats()
+	}
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	return e.mach.Stats()
+	enc := e.mach.EncodeCounters()
+	cost := e.mach.Cost
+	e.statsMu.Unlock()
+	agg, err := machine.New(e.np, cost)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < e.tr.Procs(); i++ {
+		var mine []float64
+		if i == e.tr.Self() {
+			mine = enc
+		}
+		part := e.tr.Bcast(i, mine)
+		if part == nil {
+			continue // failed job: partial counters
+		}
+		if err := agg.MergeCounters(part); err != nil {
+			panic(fmt.Sprintf("spmd: merging remote counters: %v", err))
+		}
+	}
+	return agg.Stats()
 }
 
-// Reset clears the aggregated counters.
+// Reset clears this process's counters (every process of a job calls
+// it at the same point, clearing the job-wide aggregate).
 func (e *Engine) Reset() {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	e.mach.Reset()
 }
 
-// Close shuts the workers down. Idempotent; the engine must be idle.
+// Close shuts the workers down and closes the transport. Idempotent;
+// the engine must be idle.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
 		for _, cmd := range e.workers {
-			close(cmd)
+			if cmd != nil {
+				close(cmd)
+			}
 		}
+		// Synchronize multi-process shutdown: without the fence a
+		// fast process's teardown would race a slow peer's last
+		// collective and read as a lost connection.
+		if e.tr.Procs() > 1 {
+			e.tr.Barrier()
+		}
+		e.tr.Close()
 	})
 	return nil
 }
 
-// start spawns the worker goroutines on first use.
+// start spawns the hosted worker goroutines on first use.
 func (e *Engine) start() {
 	e.startOnce.Do(func() {
 		e.workers = make([]chan func(p int), e.np)
-		for i := 0; i < e.np; i++ {
+		bar, tr := e.bar, e.tr
+		for _, p := range e.local {
 			cmd := make(chan func(p int))
-			e.workers[i] = cmd
-			bar := e.bar
+			e.workers[p-1] = cmd
 			go func(p int) {
 				for job := range cmd {
-					job(p)
+					runWorkerJob(job, p, tr)
 					// Drop the closure before parking: a retained job
 					// would pin its arrays (and through them the
 					// Engine), preventing the finalizer backstop from
@@ -178,31 +264,54 @@ func (e *Engine) start() {
 					job = nil
 					bar.Await()
 				}
-			}(i + 1)
+			}(p)
 		}
 	})
 }
 
-// run dispatches fn to every worker as one epoch and waits on the
-// engine barrier: when run returns, every worker has completed fn and
-// all stores are quiescent.
-func (e *Engine) run(fn func(p int)) {
+// runWorkerJob executes one worker's share of an epoch, converting a
+// panic (user Fill function, broken wire) into the transport's sticky
+// failure so peers blocked on the streams unblock instead of
+// deadlocking; the dispatcher surfaces the error after the epoch.
+func runWorkerJob(job func(p int), p int, tr transport.Transport) {
+	defer func() {
+		if r := recover(); r != nil {
+			tr.Fail(fmt.Errorf("spmd: worker %d panicked: %v", p, r))
+		}
+	}()
+	job(p)
+}
+
+// run dispatches fn to every hosted worker as one epoch and waits on
+// the engine barrier: when run returns, every hosted worker has
+// completed fn and all local stores are quiescent. Returns the
+// transport's sticky error, if any — a failed engine refuses further
+// epochs.
+func (e *Engine) run(fn func(p int)) error {
+	if err := e.tr.Err(); err != nil {
+		return err
+	}
 	e.start()
-	for _, cmd := range e.workers {
-		cmd <- fn
+	for _, p := range e.local {
+		e.workers[p-1] <- fn
 	}
 	e.bar.Await()
+	return e.tr.Err()
 }
 
 // send delivers one aggregated message from worker src to worker dst.
 func (e *Engine) send(src, dst int, msg []float64) {
-	e.chans[src-1][dst-1] <- msg
+	e.tr.Send(src, dst, msg)
 }
 
-// recv receives the next message sent from src to dst.
+// recv receives the next message sent from src to dst. Returns nil
+// once the engine has failed.
 func (e *Engine) recv(src, dst int) []float64 {
-	return <-e.chans[src-1][dst-1]
+	return e.tr.Recv(src, dst)
 }
+
+// hosted reports whether this process hosts rank p's values.
+func (e *Engine) hosted(p int) bool { return e.localSet[p] }
 
 // counters is a worker's per-operation tally, flushed into the shared
 // machine once per epoch.

@@ -160,7 +160,7 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 		}
 	}
 	e := s.eng
-	e.run(func(p int) {
+	return e.run(func(p int) {
 		wp := s.plans[p]
 		if wp == nil {
 			return
@@ -178,7 +178,6 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 		}
 		e.flush(p, &c)
 	})
-	return nil
 }
 
 // step is one worker's iteration: gather-and-send the owned halo

@@ -72,7 +72,7 @@ func (e *Engine) Reduce(a *Array, op runtime.ReduceOp) (float64, error) {
 		return cur
 	}
 	var result float64
-	e.run(func(p int) {
+	err := e.run(func(p int) {
 		sl := slots[p]
 		if len(sl) == 0 {
 			return
@@ -101,5 +101,25 @@ func (e *Engine) Reduce(a *Array, op runtime.ReduceOp) (float64, error) {
 		}
 		e.flush(p, &c)
 	})
+	if err != nil {
+		return 0, err
+	}
+	// On a multi-process transport the tree root's host broadcasts
+	// the result so every process's dispatcher returns the same value
+	// (the broadcast is job bookkeeping, not modelled communication —
+	// the oracle charges only the combine tree).
+	if tr := e.tr; tr.Procs() > 1 {
+		var vals []float64
+		if e.hosted(root) {
+			vals = []float64{result}
+		}
+		out := tr.Bcast(tr.HostOf(root), vals)
+		if err := tr.Err(); err != nil {
+			return 0, err
+		}
+		if len(out) == 1 {
+			result = out[0]
+		}
+	}
 	return result, nil
 }

@@ -43,7 +43,7 @@ func (e *Engine) Remap(a *Array, newMap core.ElementMapping) (int, error) {
 	if !newMap.Domain().Equal(a.dom) {
 		return 0, fmt.Errorf("spmd: remap of %s to mapping over %s (have %s)", a.name, newMap.Domain(), a.dom)
 	}
-	nl, err := buildLayout(e.np, newMap)
+	nl, err := buildLayout(e, newMap)
 	if err != nil {
 		return 0, fmt.Errorf("spmd: remap of %s: %w", a.name, err)
 	}
@@ -104,7 +104,7 @@ func (e *Engine) Remap(a *Array, newMap core.ElementMapping) (int, error) {
 		rp.recvs = append(rp.recvs, rrecv{src: pr[0], newSlots: pl.newSlots})
 	}
 	oldLay := a.lay
-	e.run(func(p int) {
+	err = e.run(func(p int) {
 		oldData := oldLay.stores[p].data
 		newData := nl.stores[p].data
 		wp := plans[p]
@@ -135,6 +135,9 @@ func (e *Engine) Remap(a *Array, newMap core.ElementMapping) (int, error) {
 			e.flush(p, &c)
 		}
 	})
+	if err != nil {
+		return 0, err
+	}
 	a.lay = nl
 	a.mapping = newMap
 	a.gen++

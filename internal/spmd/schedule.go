@@ -292,7 +292,7 @@ func (s *Schedule) ExecuteN(iters int) error {
 		}
 	}
 	e := s.eng
-	e.run(func(p int) {
+	return e.run(func(p int) {
 		wp := s.plans[p]
 		if wp == nil {
 			return
@@ -310,7 +310,6 @@ func (s *Schedule) ExecuteN(iters int) error {
 		}
 		e.flush(p, &c)
 	})
-	return nil
 }
 
 // step is one worker's iteration: gather-and-send all outgoing ghost

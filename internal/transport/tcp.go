@@ -1,0 +1,746 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The tcp transport's frame kinds. Every frame is length-prefixed:
+// a uint32 byte length covering the kind byte and the body, then the
+// kind, then the body (all integers little-endian, floats as IEEE-754
+// bit patterns).
+const (
+	frameHello   = byte(1) // handshake: proto, generation, np, procs, sender proc, job, listen addr
+	frameRoster  = byte(2) // leader → peers: the peer listener addresses
+	frameData    = byte(3) // rank pair stream: src, dst, payload floats
+	frameBcast   = byte(4) // process collective: from proc, payload floats
+	frameBarrier = byte(5) // peer → leader: barrier arrival
+	frameRelease = byte(6) // leader → peers: barrier release
+)
+
+// tcpProto is the handshake protocol version; mismatches are rejected
+// at join time.
+const tcpProto = 1
+
+// hello subkinds: a join (process → leader rendezvous) or a peer data
+// connection (mesh fill-in between non-leader processes).
+const (
+	helloJoin = byte(1)
+	helloPeer = byte(2)
+)
+
+// TCPConfig describes one process's membership in a named tcp job.
+type TCPConfig struct {
+	// Job names the job; all members must agree.
+	Job string
+	// NP is the abstract processor (rank) count.
+	NP int
+	// Procs is the number of participating OS processes.
+	Procs int
+	// Self is this process's index in 0..Procs-1. Process 0 is the
+	// leader: it binds Addr and runs the rendezvous.
+	Self int
+	// Generation distinguishes successive runs of the same job name;
+	// a worker from a stale generation is refused at the handshake.
+	Generation int
+	// Addr is the leader's rendezvous address (host:port). The leader
+	// binds it; everyone else dials it.
+	Addr string
+	// Timeout bounds the whole bootstrap (dial retries, accepts,
+	// handshakes). Zero means 30s.
+	Timeout time.Duration
+}
+
+// tconn is one connection with its buffered, mutex-serialized writer.
+// All frames from this process to the peer process go through it, so
+// per-rank-pair FIFO order is preserved (a pair's sender rank is
+// hosted by exactly one process).
+type tconn struct {
+	c   net.Conn
+	bw  *bufio.Writer
+	wmu sync.Mutex
+}
+
+func newTconn(c net.Conn) *tconn { return &tconn{c: c, bw: bufio.NewWriter(c)} }
+
+func (c *tconn) writeFrame(kind byte, body []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = kind
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(body); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(br *bufio.Reader) (kind byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > 1<<30 {
+		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(br, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func floatsToBytes(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func bytesToFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// hello is the decoded handshake frame.
+type hello struct {
+	sub        byte
+	generation int
+	np, procs  int
+	from       int
+	job        string
+	addr       string
+}
+
+func encodeHello(h hello) []byte {
+	body := []byte{h.sub}
+	var u [4]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint32(u[:], uint32(v))
+		body = append(body, u[:]...)
+	}
+	put(tcpProto)
+	put(h.generation)
+	put(h.np)
+	put(h.procs)
+	put(h.from)
+	putStr := func(s string) {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+		body = append(body, l[:]...)
+		body = append(body, s...)
+	}
+	putStr(h.job)
+	putStr(h.addr)
+	return body
+}
+
+func decodeHello(body []byte) (hello, error) {
+	var h hello
+	if len(body) < 21 {
+		return h, fmt.Errorf("transport: short hello (%d bytes)", len(body))
+	}
+	h.sub = body[0]
+	get := func(off int) int { return int(binary.LittleEndian.Uint32(body[off:])) }
+	if proto := get(1); proto != tcpProto {
+		return h, fmt.Errorf("transport: protocol version %d, want %d", proto, tcpProto)
+	}
+	h.generation = get(5)
+	h.np = get(9)
+	h.procs = get(13)
+	h.from = get(17)
+	rest := body[21:]
+	getStr := func() (string, error) {
+		if len(rest) < 2 {
+			return "", fmt.Errorf("transport: truncated hello string")
+		}
+		n := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return "", fmt.Errorf("transport: truncated hello string")
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	var err error
+	if h.job, err = getStr(); err != nil {
+		return h, err
+	}
+	if h.addr, err = getStr(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// tcpTransport carries rank streams over localhost sockets. In
+// multi-process jobs each process pair shares one connection and
+// same-process traffic short-circuits through mailboxes; in loopback
+// mode (NewTCPLoop) the single process dials itself so every message
+// still crosses a real socket, exercising the framing, encoding and
+// demux paths end to end.
+type tcpTransport struct {
+	cfg    TCPConfig
+	ln     net.Listener
+	conns  []*tconn // by peer process index; conns[Self] is nil
+	loop   *tconn   // loopback write side (single-process mode only)
+	loopIn *tconn   // loopback read side
+
+	boxes  [][]*mailbox // [src-1][dst-1] for streams received here
+	bcastQ []*mailbox   // per source process index
+
+	arrive  chan int      // leader: barrier arrivals
+	release chan struct{} // peers: barrier releases
+
+	fb     *failBox
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+func newTCPState(cfg TCPConfig) *tcpTransport {
+	t := &tcpTransport{cfg: cfg, fb: newFailBox()}
+	t.conns = make([]*tconn, cfg.Procs)
+	t.boxes = make([][]*mailbox, cfg.NP)
+	for s := range t.boxes {
+		t.boxes[s] = make([]*mailbox, cfg.NP)
+		for d := range t.boxes[s] {
+			t.boxes[s][d] = newMailbox()
+		}
+	}
+	t.bcastQ = make([]*mailbox, cfg.Procs)
+	for i := range t.bcastQ {
+		t.bcastQ[i] = newMailbox()
+	}
+	t.arrive = make(chan int, cfg.Procs)
+	t.release = make(chan struct{}, cfg.Procs)
+	return t
+}
+
+func (cfg *TCPConfig) validate(needAddr bool) error {
+	if cfg.NP < 1 {
+		return fmt.Errorf("transport: rank count must be positive, got %d", cfg.NP)
+	}
+	if cfg.Procs < 1 || cfg.Procs > cfg.NP {
+		return fmt.Errorf("transport: process count %d out of range 1..%d", cfg.Procs, cfg.NP)
+	}
+	if cfg.Self < 0 || cfg.Self >= cfg.Procs {
+		return fmt.Errorf("transport: process index %d out of range 0..%d", cfg.Self, cfg.Procs-1)
+	}
+	if needAddr && cfg.Procs > 1 && cfg.Addr == "" {
+		return fmt.Errorf("transport: a multi-process job needs a rendezvous address")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	return nil
+}
+
+// NewTCPLoop creates the single-process tcp transport over np ranks:
+// all rank streams run through one self-dialled localhost connection,
+// so the wire format is exercised without a second process.
+func NewTCPLoop(np int) (Transport, error) {
+	cfg := TCPConfig{Job: "loop", NP: np, Procs: 1, Self: 0}
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	t := newTCPState(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	t.ln = ln
+	accepted := make(chan net.Conn, 1)
+	acceptErr := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		accepted <- c
+	}()
+	out, err := net.DialTimeout("tcp", ln.Addr().String(), cfg.Timeout)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	var in net.Conn
+	select {
+	case in = <-accepted:
+	case err := <-acceptErr:
+		out.Close()
+		ln.Close()
+		return nil, err
+	}
+	t.loop = newTconn(out)
+	t.loopIn = newTconn(in)
+	// Handshake across the loop, so the hello path is covered too.
+	if err := t.loop.writeFrame(frameHello, encodeHello(hello{sub: helloJoin, np: np, procs: 1, job: cfg.Job})); err != nil {
+		t.teardown()
+		return nil, err
+	}
+	br := bufio.NewReader(in)
+	if err := t.expectHello(br, helloJoin, 0); err != nil {
+		t.teardown()
+		return nil, err
+	}
+	t.wg.Add(1)
+	go t.readLoop(t.loopIn, br)
+	return t, nil
+}
+
+// NewTCP joins a named multi-process job: process 0 binds the
+// rendezvous address and collects one join handshake per peer, sends
+// everyone the peer-listener roster, and the peers fill in the
+// connection mesh among themselves (higher process index dials
+// lower). Returns once this process is fully meshed and the initial
+// job barrier has completed.
+func NewTCP(cfg TCPConfig) (Transport, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	if cfg.Procs == 1 {
+		return NewTCPLoop(cfg.NP)
+	}
+	t := newTCPState(cfg)
+	deadline := time.Now().Add(cfg.Timeout)
+	var err error
+	if cfg.Self == 0 {
+		err = t.bootstrapLeader(deadline)
+	} else {
+		err = t.bootstrapPeer(deadline)
+	}
+	if err != nil {
+		t.teardown()
+		return nil, err
+	}
+	for i, c := range t.conns {
+		if i == cfg.Self || c == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go t.readLoop(c, bufio.NewReader(c.c))
+	}
+	if err := t.Barrier(); err != nil {
+		t.teardown()
+		return nil, fmt.Errorf("transport: job %q initial barrier: %w", cfg.Job, err)
+	}
+	return t, nil
+}
+
+// expectHello reads and validates one handshake frame.
+func (t *tcpTransport) expectHello(br *bufio.Reader, sub byte, wantFrom int) error {
+	kind, body, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("transport: reading hello: %w", err)
+	}
+	if kind != frameHello {
+		return fmt.Errorf("transport: expected hello frame, got kind %d", kind)
+	}
+	h, err := decodeHello(body)
+	if err != nil {
+		return err
+	}
+	cfg := &t.cfg
+	switch {
+	case h.sub != sub:
+		return fmt.Errorf("transport: hello subkind %d, want %d", h.sub, sub)
+	case h.job != cfg.Job:
+		return fmt.Errorf("transport: hello for job %q, want %q", h.job, cfg.Job)
+	case h.generation != cfg.Generation:
+		return fmt.Errorf("transport: job %q generation %d, want %d (stale worker?)", h.job, h.generation, cfg.Generation)
+	case h.np != cfg.NP || h.procs != cfg.Procs:
+		return fmt.Errorf("transport: job %q shape %d ranks/%d procs, want %d/%d", h.job, h.np, h.procs, cfg.NP, cfg.Procs)
+	case wantFrom >= 0 && h.from != wantFrom:
+		return fmt.Errorf("transport: hello from process %d, want %d", h.from, wantFrom)
+	}
+	return nil
+}
+
+// readHelloFrom reads a hello, returning the sender's process index
+// and advertised listen address.
+func (t *tcpTransport) readHelloFrom(br *bufio.Reader, sub byte) (int, string, error) {
+	kind, body, err := readFrame(br)
+	if err != nil {
+		return 0, "", fmt.Errorf("transport: reading hello: %w", err)
+	}
+	if kind != frameHello {
+		return 0, "", fmt.Errorf("transport: expected hello frame, got kind %d", kind)
+	}
+	h, err := decodeHello(body)
+	if err != nil {
+		return 0, "", err
+	}
+	cfg := &t.cfg
+	if h.sub != sub || h.job != cfg.Job || h.generation != cfg.Generation || h.np != cfg.NP || h.procs != cfg.Procs {
+		return 0, "", fmt.Errorf("transport: job %q rejected handshake (sub %d job %q gen %d shape %d/%d)", cfg.Job, h.sub, h.job, h.generation, h.np, h.procs)
+	}
+	if h.from < 1 || h.from >= cfg.Procs {
+		return 0, "", fmt.Errorf("transport: hello from out-of-range process %d", h.from)
+	}
+	return h.from, h.addr, nil
+}
+
+func (t *tcpTransport) bootstrapLeader(deadline time.Time) error {
+	ln, err := net.Listen("tcp", t.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("transport: leader bind %s: %w", t.cfg.Addr, err)
+	}
+	t.ln = ln
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	addrs := make([]string, t.cfg.Procs)
+	for joined := 1; joined < t.cfg.Procs; {
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: job %q waiting for %d more worker(s): %w", t.cfg.Job, t.cfg.Procs-joined, err)
+		}
+		c.SetDeadline(deadline)
+		br := bufio.NewReader(c)
+		from, addr, err := t.readHelloFrom(br, helloJoin)
+		if err != nil {
+			// Refuse just this connection — a stale-generation worker
+			// left over from a previous run (or a stray dialer) must
+			// not abort the new job's bootstrap.
+			c.Close()
+			fmt.Fprintf(os.Stderr, "transport: job %q refused a join: %v\n", t.cfg.Job, err)
+			continue
+		}
+		if t.conns[from] != nil {
+			c.Close()
+			return fmt.Errorf("transport: job %q duplicate join from process %d", t.cfg.Job, from)
+		}
+		t.conns[from] = newTconn(c)
+		addrs[from] = addr
+		joined++
+	}
+	// Roster: the peer listener addresses, so peers can mesh.
+	body := []byte{}
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(t.cfg.Procs))
+	body = append(body, u[:]...)
+	for _, a := range addrs {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(a)))
+		body = append(body, l[:]...)
+		body = append(body, a...)
+	}
+	for i := 1; i < t.cfg.Procs; i++ {
+		if err := t.conns[i].writeFrame(frameRoster, body); err != nil {
+			return fmt.Errorf("transport: sending roster to process %d: %w", i, err)
+		}
+		t.conns[i].c.SetDeadline(time.Time{})
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
+	return nil
+}
+
+func (t *tcpTransport) bootstrapPeer(deadline time.Time) error {
+	// My own listener, for mesh connections from higher-index peers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	t.ln = ln
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	// Join the leader (retry while it comes up).
+	var c0 net.Conn
+	for {
+		c0, err = net.DialTimeout("tcp", t.cfg.Addr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: job %q dialing leader %s: %w", t.cfg.Job, t.cfg.Addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c0.SetDeadline(deadline)
+	t.conns[0] = newTconn(c0)
+	h := hello{sub: helloJoin, generation: t.cfg.Generation, np: t.cfg.NP, procs: t.cfg.Procs, from: t.cfg.Self, job: t.cfg.Job, addr: ln.Addr().String()}
+	if err := t.conns[0].writeFrame(frameHello, encodeHello(h)); err != nil {
+		return fmt.Errorf("transport: joining job %q: %w", t.cfg.Job, err)
+	}
+	br0 := bufio.NewReader(c0)
+	kind, body, err := readFrame(br0)
+	if err != nil {
+		return fmt.Errorf("transport: job %q waiting for roster: %w", t.cfg.Job, err)
+	}
+	if kind != frameRoster {
+		return fmt.Errorf("transport: expected roster frame, got kind %d", kind)
+	}
+	if len(body) < 4 {
+		return fmt.Errorf("transport: short roster")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n != t.cfg.Procs {
+		return fmt.Errorf("transport: roster for %d processes, want %d", n, t.cfg.Procs)
+	}
+	rest := body[4:]
+	addrs := make([]string, n)
+	for i := range addrs {
+		if len(rest) < 2 {
+			return fmt.Errorf("transport: truncated roster")
+		}
+		l := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < l {
+			return fmt.Errorf("transport: truncated roster")
+		}
+		addrs[i] = string(rest[:l])
+		rest = rest[l:]
+	}
+	c0.SetDeadline(time.Time{})
+	// Mesh: dial every lower-index peer, accept every higher one.
+	ph := hello{sub: helloPeer, generation: t.cfg.Generation, np: t.cfg.NP, procs: t.cfg.Procs, from: t.cfg.Self, job: t.cfg.Job}
+	for j := 1; j < t.cfg.Self; j++ {
+		c, err := net.DialTimeout("tcp", addrs[j], time.Until(deadline))
+		if err != nil {
+			return fmt.Errorf("transport: dialing peer %d at %s: %w", j, addrs[j], err)
+		}
+		t.conns[j] = newTconn(c)
+		if err := t.conns[j].writeFrame(frameHello, encodeHello(ph)); err != nil {
+			return fmt.Errorf("transport: peer hello to %d: %w", j, err)
+		}
+	}
+	for k := t.cfg.Self + 1; k < t.cfg.Procs; k++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: job %q waiting for peer connections: %w", t.cfg.Job, err)
+		}
+		c.SetDeadline(deadline)
+		br := bufio.NewReader(c)
+		from, _, err := t.readHelloFrom(br, helloPeer)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		if from <= t.cfg.Self || t.conns[from] != nil {
+			c.Close()
+			return fmt.Errorf("transport: unexpected peer connection from process %d", from)
+		}
+		c.SetDeadline(time.Time{})
+		t.conns[from] = newTconn(c)
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
+	return nil
+}
+
+// readLoop demultiplexes one connection's frames into the per-pair
+// mailboxes and the collective queues.
+func (t *tcpTransport) readLoop(c *tconn, br *bufio.Reader) {
+	defer t.wg.Done()
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			if !t.closed.Load() {
+				t.Fail(fmt.Errorf("transport: job %q connection lost: %w", t.cfg.Job, err))
+			}
+			return
+		}
+		switch kind {
+		case frameData:
+			if len(body) < 8 {
+				t.Fail(fmt.Errorf("transport: short data frame"))
+				return
+			}
+			src := int(binary.LittleEndian.Uint32(body))
+			dst := int(binary.LittleEndian.Uint32(body[4:]))
+			if src < 1 || src > t.cfg.NP || dst < 1 || dst > t.cfg.NP {
+				t.Fail(fmt.Errorf("transport: data frame for pair (%d,%d) out of range 1..%d", src, dst, t.cfg.NP))
+				return
+			}
+			t.boxes[src-1][dst-1].push(bytesToFloats(body[8:]))
+		case frameBcast:
+			if len(body) < 4 {
+				t.Fail(fmt.Errorf("transport: short bcast frame"))
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(body))
+			if from < 0 || from >= t.cfg.Procs {
+				t.Fail(fmt.Errorf("transport: bcast from out-of-range process %d", from))
+				return
+			}
+			t.bcastQ[from].push(bytesToFloats(body[4:]))
+		case frameBarrier:
+			if len(body) < 4 {
+				t.Fail(fmt.Errorf("transport: short barrier frame"))
+				return
+			}
+			select {
+			case t.arrive <- int(binary.LittleEndian.Uint32(body)):
+			default:
+				t.Fail(fmt.Errorf("transport: barrier arrival overflow"))
+				return
+			}
+		case frameRelease:
+			select {
+			case t.release <- struct{}{}:
+			default:
+				t.Fail(fmt.Errorf("transport: barrier release overflow"))
+				return
+			}
+		default:
+			t.Fail(fmt.Errorf("transport: unknown frame kind %d", kind))
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) Kind() string        { return TCP }
+func (t *tcpTransport) NP() int             { return t.cfg.NP }
+func (t *tcpTransport) Procs() int          { return t.cfg.Procs }
+func (t *tcpTransport) Self() int           { return t.cfg.Self }
+func (t *tcpTransport) HostOf(rank int) int { return HostOfRank(t.cfg.NP, t.cfg.Procs, rank) }
+
+// sendFrame writes a data/bcast frame on conn, failing the transport
+// on I/O errors (the message is dropped; workers surface the sticky
+// error at the end of the epoch).
+func (t *tcpTransport) sendFrame(c *tconn, kind byte, body []byte) {
+	if err := c.writeFrame(kind, body); err != nil {
+		if !t.closed.Load() {
+			t.Fail(fmt.Errorf("transport: job %q write: %w", t.cfg.Job, err))
+		}
+	}
+}
+
+func (t *tcpTransport) Send(src, dst int, msg []float64) {
+	h := t.HostOf(dst)
+	if h == t.cfg.Self && t.loop == nil {
+		// Same-process pair: short-circuit through the mailbox.
+		t.boxes[src-1][dst-1].push(msg)
+		return
+	}
+	body := make([]byte, 8, 8+8*len(msg))
+	binary.LittleEndian.PutUint32(body, uint32(src))
+	binary.LittleEndian.PutUint32(body[4:], uint32(dst))
+	body = floatsToBytes(body, msg)
+	c := t.loop
+	if c == nil {
+		c = t.conns[h]
+	}
+	t.sendFrame(c, frameData, body)
+}
+
+func (t *tcpTransport) Recv(src, dst int) []float64 {
+	return t.boxes[src-1][dst-1].pop()
+}
+
+func (t *tcpTransport) Bcast(from int, vals []float64) []float64 {
+	if t.cfg.Procs == 1 {
+		return vals
+	}
+	if from == t.cfg.Self {
+		body := make([]byte, 4, 4+8*len(vals))
+		binary.LittleEndian.PutUint32(body, uint32(from))
+		body = floatsToBytes(body, vals)
+		for i, c := range t.conns {
+			if i == t.cfg.Self || c == nil {
+				continue
+			}
+			t.sendFrame(c, frameBcast, body)
+		}
+		return vals
+	}
+	return t.bcastQ[from].pop()
+}
+
+func (t *tcpTransport) Barrier() error {
+	if t.cfg.Procs == 1 {
+		return t.fb.get()
+	}
+	if t.cfg.Self == 0 {
+		for need := t.cfg.Procs - 1; need > 0; {
+			select {
+			case <-t.arrive:
+				need--
+			case <-t.fb.stop:
+				return t.fb.get()
+			}
+		}
+		for i := 1; i < t.cfg.Procs; i++ {
+			t.sendFrame(t.conns[i], frameRelease, nil)
+		}
+		return t.fb.get()
+	}
+	var body [4]byte
+	binary.LittleEndian.PutUint32(body[:], uint32(t.cfg.Self))
+	t.sendFrame(t.conns[0], frameBarrier, body[:])
+	select {
+	case <-t.release:
+	case <-t.fb.stop:
+	}
+	return t.fb.get()
+}
+
+func (t *tcpTransport) Fail(err error) {
+	if t.fb.fail(err) {
+		t.abortAll()
+	}
+}
+
+func (t *tcpTransport) Err() error { return t.fb.get() }
+
+func (t *tcpTransport) abortAll() {
+	for _, row := range t.boxes {
+		for _, b := range row {
+			b.abort()
+		}
+	}
+	for _, b := range t.bcastQ {
+		b.abort()
+	}
+}
+
+// teardown closes sockets and aborts waiters without marking the
+// transport failed (deliberate shutdown).
+func (t *tcpTransport) teardown() {
+	t.closed.Store(true)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	if t.loop != nil {
+		t.loop.c.Close()
+	}
+	if t.loopIn != nil {
+		t.loopIn.c.Close()
+	}
+	for _, c := range t.conns {
+		if c != nil {
+			c.c.Close()
+		}
+	}
+	t.abortAll()
+	t.wg.Wait()
+}
+
+func (t *tcpTransport) Close() error {
+	t.once.Do(t.teardown)
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package transport is the wire abstraction under the spmd engine:
+// per-pair ordered message streams between the abstract processors
+// (ranks 1..NP), plus the small set of process-level collectives the
+// engine's replicated control flow needs (broadcast, barrier). Two
+// implementations exist: inproc (capacity-1 buffered channels, the
+// zero-copy default, all ranks in one address space) and tcp
+// (length-prefixed frames over localhost sockets with a handshake
+// carrying worker rank and job generation), which lets the identical
+// compiled schedules, remaps, reductions and inspector plans execute
+// across real OS processes (see cmd/hpfnode).
+//
+// Contract: messages between one ordered rank pair (src,dst) are
+// delivered FIFO; streams of distinct pairs are independent. Send
+// never blocks indefinitely against a live receiver (the inproc
+// transport blocks only on its per-pair capacity-1 backpressure; the
+// tcp transport buffers in per-pair mailboxes). Collectives (Bcast,
+// Barrier) must be invoked by every participating process in the same
+// order — the engine guarantees this by construction, since every
+// process executes the same deterministic control flow. A failed
+// transport (Fail, or an I/O error on a connection) aborts blocked
+// Send/Recv calls instead of deadlocking: Recv returns nil and Send
+// drops the message, with the sticky error readable via Err.
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kinds of transport.
+const (
+	Inproc = "inproc"
+	TCP    = "tcp"
+)
+
+// Kinds lists the available transport kinds.
+func Kinds() []string { return []string{Inproc, TCP} }
+
+// Transport carries the spmd engine's communication: per-pair ordered
+// rank-to-rank message streams plus process-level collectives.
+type Transport interface {
+	// Kind reports the transport kind ("inproc" or "tcp").
+	Kind() string
+	// NP reports the abstract processor (rank) count.
+	NP() int
+	// Procs reports the number of participating OS processes.
+	Procs() int
+	// Self reports this process's index in 0..Procs-1.
+	Self() int
+	// HostOf reports the process index hosting the given rank.
+	HostOf(rank int) int
+	// Send delivers one message on the ordered (src,dst) rank stream.
+	// src must be hosted by this process. On a failed transport the
+	// message is dropped.
+	Send(src, dst int, msg []float64)
+	// Recv returns the next message of the ordered (src,dst) stream.
+	// dst must be hosted by this process. Returns nil once the
+	// transport has failed.
+	Recv(src, dst int) []float64
+	// Bcast publishes vals from process `from` to every process and
+	// returns them everywhere; callers on other processes pass nil.
+	// Returns nil on a failed transport.
+	Bcast(from int, vals []float64) []float64
+	// Barrier blocks until every process has arrived (an epoch fence
+	// for job-level phases; the engine's per-epoch worker barrier is
+	// process-local and does not use it).
+	Barrier() error
+	// Fail puts the transport into the sticky failed state, aborting
+	// all blocked Send/Recv calls engine-wide.
+	Fail(err error)
+	// Err returns the sticky failure, if any.
+	Err() error
+	// Close releases the transport's resources. Idempotent.
+	Close() error
+}
+
+// HostOfRank computes the deterministic block partition of ranks
+// 1..np over procs processes: rank r lives on process (r-1)/q with
+// q = ceil(np/procs). Every process derives the same partition.
+func HostOfRank(np, procs, rank int) int {
+	q := (np + procs - 1) / procs
+	return (rank - 1) / q
+}
+
+// RanksOf returns the inclusive rank interval [lo,hi] hosted by
+// process self under the block partition (hi < lo when the process
+// hosts no ranks, which valid configurations exclude).
+func RanksOf(np, procs, self int) (lo, hi int) {
+	q := (np + procs - 1) / procs
+	lo = self*q + 1
+	hi = (self + 1) * q
+	if hi > np {
+		hi = np
+	}
+	return lo, hi
+}
+
+// failBox is the sticky failure state shared by the implementations.
+type failBox struct {
+	mu   sync.Mutex
+	err  error
+	stop chan struct{}
+}
+
+func newFailBox() *failBox { return &failBox{stop: make(chan struct{})} }
+
+// fail records err (first one wins) and closes the stop channel.
+// Reports whether this call was the first failure.
+func (f *failBox) fail(err error) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return false
+	}
+	f.err = err
+	close(f.stop)
+	return true
+}
+
+func (f *failBox) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// inproc is the in-process transport: today's capacity-1 buffered
+// channel per ordered rank pair. Within one engine epoch each pair
+// has at most one in-flight message per iteration, and every worker
+// sends all its outgoing messages before receiving, so sends never
+// deadlock; the capacity-1 backpressure also bounds how far a fast
+// sender can pipeline ahead of a slow receiver across iterations.
+type inproc struct {
+	np    int
+	chans [][]chan []float64
+	fb    *failBox
+}
+
+// NewInproc creates the in-process transport over np ranks.
+func NewInproc(np int) Transport {
+	t := &inproc{np: np, fb: newFailBox()}
+	t.chans = make([][]chan []float64, np)
+	for s := range t.chans {
+		t.chans[s] = make([]chan []float64, np)
+		for d := range t.chans[s] {
+			t.chans[s][d] = make(chan []float64, 1)
+		}
+	}
+	return t
+}
+
+func (t *inproc) Kind() string        { return Inproc }
+func (t *inproc) NP() int             { return t.np }
+func (t *inproc) Procs() int          { return 1 }
+func (t *inproc) Self() int           { return 0 }
+func (t *inproc) HostOf(rank int) int { return 0 }
+
+func (t *inproc) Send(src, dst int, msg []float64) {
+	select {
+	case <-t.fb.stop:
+		return // failed transport: drop
+	default:
+	}
+	select {
+	case t.chans[src-1][dst-1] <- msg:
+	case <-t.fb.stop:
+	}
+}
+
+func (t *inproc) Recv(src, dst int) []float64 {
+	ch := t.chans[src-1][dst-1]
+	// Drain-then-nil on failure, like the tcp mailboxes: a message
+	// already in the stream is delivered even after Fail.
+	select {
+	case msg := <-ch:
+		return msg
+	default:
+	}
+	select {
+	case msg := <-ch:
+		return msg
+	case <-t.fb.stop:
+		select {
+		case msg := <-ch:
+			return msg
+		default:
+			return nil
+		}
+	}
+}
+
+func (t *inproc) Bcast(from int, vals []float64) []float64 { return vals }
+func (t *inproc) Barrier() error                           { return t.fb.get() }
+func (t *inproc) Fail(err error)                           { t.fb.fail(err) }
+func (t *inproc) Err() error                               { return t.fb.get() }
+func (t *inproc) Close() error                             { return nil }
+
+// mailbox is an unbounded FIFO queue of messages for one stream, with
+// abort support: messages queued before the abort still drain in
+// order (a peer's orderly shutdown must not eat data already on the
+// wire); pop returns nil once the queue is empty and aborted.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      [][]float64
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg []float64) {
+	m.mu.Lock()
+	m.q = append(m.q, msg)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) pop() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return nil
+	}
+	msg := m.q[0]
+	m.q = m.q[1:]
+	return msg
+}
+
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// New creates a single-process transport of the given kind over np
+// ranks: the inproc channels, or the tcp loopback (every message
+// through a real localhost socket, exercising framing and demux).
+func New(kind string, np int) (Transport, error) {
+	switch kind {
+	case Inproc:
+		return NewInproc(np), nil
+	case TCP:
+		return NewTCPLoop(np)
+	default:
+		return nil, fmt.Errorf("transport: unknown kind %q (have %v)", kind, Kinds())
+	}
+}

@@ -1,0 +1,254 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a localhost port for a rendezvous address.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestHostOfRankPartition(t *testing.T) {
+	for _, tc := range []struct{ np, procs int }{{8, 1}, {8, 4}, {7, 3}, {5, 5}, {9, 4}} {
+		seen := map[int]int{}
+		for r := 1; r <= tc.np; r++ {
+			h := HostOfRank(tc.np, tc.procs, r)
+			if h < 0 || h >= tc.procs {
+				t.Fatalf("np=%d procs=%d rank %d: host %d out of range", tc.np, tc.procs, r, h)
+			}
+			seen[h]++
+		}
+		covered := 0
+		for p := 0; p < tc.procs; p++ {
+			lo, hi := RanksOf(tc.np, tc.procs, p)
+			for r := lo; r <= hi; r++ {
+				if HostOfRank(tc.np, tc.procs, r) != p {
+					t.Fatalf("np=%d procs=%d: RanksOf(%d)=[%d,%d] but rank %d hosted by %d", tc.np, tc.procs, p, lo, hi, r, HostOfRank(tc.np, tc.procs, r))
+				}
+				covered++
+			}
+		}
+		if covered != tc.np {
+			t.Fatalf("np=%d procs=%d: partition covers %d ranks", tc.np, tc.procs, covered)
+		}
+	}
+}
+
+// exerciseStreams checks per-pair FIFO order over every ordered rank
+// pair of a single-process transport.
+func exerciseStreams(t *testing.T, tr Transport) {
+	t.Helper()
+	np := tr.NP()
+	const msgs = 5
+	var wg sync.WaitGroup
+	for s := 1; s <= np; s++ {
+		for d := 1; d <= np; d++ {
+			wg.Add(1)
+			go func(s, d int) {
+				defer wg.Done()
+				for k := 0; k < msgs; k++ {
+					tr.Send(s, d, []float64{float64(s*100 + d), float64(k)})
+				}
+			}(s, d)
+		}
+	}
+	errc := make(chan error, np*np)
+	for s := 1; s <= np; s++ {
+		for d := 1; d <= np; d++ {
+			wg.Add(1)
+			go func(s, d int) {
+				defer wg.Done()
+				for k := 0; k < msgs; k++ {
+					msg := tr.Recv(s, d)
+					if len(msg) != 2 || msg[0] != float64(s*100+d) || msg[1] != float64(k) {
+						errc <- fmt.Errorf("pair (%d,%d) msg %d: got %v", s, d, k, msg)
+						return
+					}
+				}
+			}(s, d)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestInprocStreams(t *testing.T) {
+	tr := NewInproc(4)
+	defer tr.Close()
+	exerciseStreams(t, tr)
+}
+
+func TestTCPLoopStreams(t *testing.T) {
+	tr, err := NewTCPLoop(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	exerciseStreams(t, tr)
+}
+
+func TestFailUnblocksRecvAndSend(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			tr, err := New(kind, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			done := make(chan []float64, 1)
+			go func() { done <- tr.Recv(1, 2) }()
+			time.Sleep(20 * time.Millisecond)
+			tr.Fail(fmt.Errorf("boom"))
+			select {
+			case msg := <-done:
+				if msg != nil {
+					t.Fatalf("aborted Recv returned %v, want nil", msg)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Recv still blocked after Fail")
+			}
+			// Sends on a failed transport must not block either.
+			sent := make(chan struct{})
+			go func() {
+				for i := 0; i < 10; i++ {
+					tr.Send(1, 2, []float64{1})
+				}
+				close(sent)
+			}()
+			select {
+			case <-sent:
+			case <-time.After(2 * time.Second):
+				t.Fatal("Send blocked after Fail")
+			}
+			if tr.Err() == nil {
+				t.Fatal("Err() nil after Fail")
+			}
+		})
+	}
+}
+
+// TestTCPMesh runs a full 3-process job inside one test binary: three
+// transports bootstrap over real localhost sockets, exchange cross-
+// and same-process rank traffic, broadcast, and barrier.
+func TestTCPMesh(t *testing.T) {
+	const np, procs = 6, 3
+	addr := freeAddr(t)
+	trs := make([]Transport, procs)
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := NewTCP(TCPConfig{Job: "mesh-test", NP: np, Procs: procs, Self: i, Generation: 7, Addr: addr})
+			trs[i] = tr
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d bootstrap: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	// Every rank sends one tagged message to every rank; each process
+	// drives its own hosted ranks.
+	perr := make(chan error, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := trs[i]
+			lo, hi := RanksOf(np, procs, i)
+			for s := lo; s <= hi; s++ {
+				for d := 1; d <= np; d++ {
+					tr.Send(s, d, []float64{float64(1000*s + d)})
+				}
+			}
+			for d := lo; d <= hi; d++ {
+				for s := 1; s <= np; s++ {
+					msg := tr.Recv(s, d)
+					if len(msg) != 1 || msg[0] != float64(1000*s+d) {
+						perr <- fmt.Errorf("process %d pair (%d,%d): got %v", i, s, d, msg)
+						return
+					}
+				}
+			}
+			// Broadcast from each process in turn.
+			for from := 0; from < procs; from++ {
+				var vals []float64
+				if from == i {
+					vals = []float64{float64(from), 42}
+				}
+				got := tr.Bcast(from, vals)
+				if len(got) != 2 || got[0] != float64(from) || got[1] != 42 {
+					perr <- fmt.Errorf("process %d bcast from %d: got %v", i, from, got)
+					return
+				}
+			}
+			if err := tr.Barrier(); err != nil {
+				perr <- fmt.Errorf("process %d barrier: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(perr)
+	for err := range perr {
+		t.Error(err)
+	}
+}
+
+// TestTCPStaleGenerationRejected checks the handshake's generation
+// gate: a worker from an older generation is refused (its connection
+// closed) while the leader keeps waiting for the real members — so
+// the stale worker errors immediately and the leader's bootstrap
+// fails only when the membership never completes (timeout here).
+func TestTCPStaleGenerationRejected(t *testing.T) {
+	addr := freeAddr(t)
+	var wg sync.WaitGroup
+	var leaderErr, staleErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tr, err := NewTCP(TCPConfig{Job: "gen-test", NP: 2, Procs: 2, Self: 0, Generation: 3, Addr: addr, Timeout: 2 * time.Second})
+		if tr != nil {
+			tr.Close()
+		}
+		leaderErr = err
+	}()
+	go func() {
+		defer wg.Done()
+		tr, err := NewTCP(TCPConfig{Job: "gen-test", NP: 2, Procs: 2, Self: 1, Generation: 2, Addr: addr, Timeout: 2 * time.Second})
+		if tr != nil {
+			tr.Close()
+		}
+		staleErr = err
+	}()
+	wg.Wait()
+	if leaderErr == nil {
+		t.Error("leader bootstrapped a job whose only member was stale")
+	}
+	if staleErr == nil {
+		t.Error("stale worker joined successfully")
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"hpfnt/internal/dist"
+	"hpfnt/internal/engine"
+	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/runtime"
+)
+
+// NodeWorkloads lists the workloads cmd/hpfnode can run: each is a
+// deterministic program whose control flow depends only on its
+// parameters, so every process of a multi-process job can execute
+// RunNode in lockstep (the SPMD replicated-control contract).
+func NodeWorkloads() []string { return []string{"jacobi", "cg", "edgesweep"} }
+
+// NodeResult is one node workload run: the job-wide machine report
+// and the final global values of the result array (plus the reduction
+// scalar for cg). On a multi-process engine every process returns the
+// identical result, which is what the hpfnode verification compares
+// against a single-process reference run.
+type NodeResult struct {
+	Report machine.Report
+	Data   []float64
+	Sum    float64
+}
+
+// RunNode resets eng's counters and runs the named workload on it at
+// problem size n with iters schedule replays.
+func RunNode(eng engine.Engine, name string, n, iters int) (NodeResult, error) {
+	eng.Reset()
+	np := eng.NP()
+	switch name {
+	case "jacobi":
+		return nodeJacobi(eng, n, np, iters)
+	case "cg":
+		return nodeCG(eng, n, np, iters)
+	case "edgesweep":
+		return nodeEdgeSweep(eng, n, np, iters)
+	default:
+		return NodeResult{}, fmt.Errorf("workload: unknown node workload %q (have %v)", name, NodeWorkloads())
+	}
+}
+
+// nodeJacobi is the dense workload: the n×n row-blocked 5-point
+// schedule replayed iters times (JacobiReplay), returning B's values.
+func nodeJacobi(eng engine.Engine, n, np, iters int) (NodeResult, error) {
+	am, err := BlockRowMapping(n, np)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	bm, err := BlockRowMapping(n, np)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	a, err := eng.NewArray("A", am)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	b, err := eng.NewArray("B", bm)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	a.Fill(func(t index.Tuple) float64 { return float64((t[0] * t[1]) % 97) })
+	interior := index.Standard(2, n-1, 2, n-1)
+	terms := []engine.Term{
+		engine.Read(a, 0.25, -1, 0),
+		engine.Read(a, 0.25, 1, 0),
+		engine.Read(a, 0.25, 0, -1),
+		engine.Read(a, 0.25, 0, 1),
+	}
+	sched, err := b.NewSchedule(interior, terms)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	if err := sched.ExecuteN(iters); err != nil {
+		return NodeResult{}, err
+	}
+	return NodeResult{Report: eng.Stats(), Data: b.Data()}, nil
+}
+
+// nodeCG is the irregular workload: the sparse q = A·x gather (8n
+// nonzeros) through the inspector–executor path, plus the CG-shaped
+// sum reduction.
+func nodeCG(eng engine.Engine, n, np, iters int) (NodeResult, error) {
+	sys := SparseMatrix(n, 8*n, 23)
+	xm, err := Rank1Mapping(n, np, dist.Block{})
+	if err != nil {
+		return NodeResult{}, err
+	}
+	qm, err := Rank1Mapping(n, np, dist.Block{})
+	if err != nil {
+		return NodeResult{}, err
+	}
+	c, err := NewSparseCG(eng, sys, xm, qm)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	sched, err := c.NewSchedule()
+	if err != nil {
+		return NodeResult{}, err
+	}
+	if err := sched.ExecuteN(iters); err != nil {
+		return NodeResult{}, err
+	}
+	sum, err := c.Q.Reduce(runtime.ReduceSum)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	return NodeResult{Report: eng.Stats(), Data: c.Q.Data(), Sum: sum}, nil
+}
+
+// nodeEdgeSweep is the unstructured-mesh workload: the ring-plus-
+// chords edge sweep with a pseudo-random INDIRECT accumulator
+// partition.
+func nodeEdgeSweep(eng engine.Engine, n, np, iters int) (NodeResult, error) {
+	mesh := RingMesh(n, n/2, 29)
+	valMap, err := Rank1Mapping(n, np, dist.Block{})
+	if err != nil {
+		return NodeResult{}, err
+	}
+	accMap, err := PartitionMapping(n, np, 31)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	val, err := eng.NewArray("VAL", valMap)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	acc, err := eng.NewArray("ACC", accMap)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	val.Fill(xFill)
+	sched, err := acc.NewIrregular(val, mesh.Pattern())
+	if err != nil {
+		return NodeResult{}, err
+	}
+	if err := sched.ExecuteN(iters); err != nil {
+		return NodeResult{}, err
+	}
+	return NodeResult{Report: eng.Stats(), Data: acc.Data()}, nil
+}
