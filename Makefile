@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp node-smoke bench speedup amortization fuzz fuzz-engine fuzz-irregular docs
+.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm node-smoke node-smoke-shm bench bench-snapshot bench-gate speedup amortization fuzz fuzz-engine fuzz-irregular docs
 
 check: fmt vet build test docs
 
@@ -36,11 +36,23 @@ race-irregular:
 race-tcp:
 	HPFNT_ENGINE=spmd HPFNT_TRANSPORT=tcp $(GO) test -race -count=1 ./internal/exper ./hpf ./internal/workload
 
+# The same suites with every spmd message over the shm transport's
+# lock-free shared-memory rings, plus the transport package's own
+# suite (multi-process mesh, flood, failure paths), under the race
+# detector.
+race-shm:
+	HPFNT_ENGINE=spmd HPFNT_TRANSPORT=shm $(GO) test -race -count=1 ./internal/exper ./hpf ./internal/workload ./internal/transport
+
 # A real 4-process localhost hpfnode job (8 ranks over the tcp
 # transport): the leader verifies that every workload produced values
 # and a machine.Report identical to the in-process engine.
 node-smoke:
 	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -workload all -n 64 -iters 5
+
+# The same 4-process job over the shm wire (one mmap'd file of
+# shared-memory rings instead of sockets).
+node-smoke-shm:
+	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -transport shm -workload all -n 64 -iters 5
 
 # Every internal package must carry a package-level godoc comment
 # (go doc prints "Package <name> ..." on its third line iff one
@@ -54,6 +66,21 @@ docs:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate the committed perf-trajectory snapshot (best-of-3 over
+# all experiments, the replay speedup, the irregular workloads and the
+# per-wire micro-benchmarks). Commit the result when the numbers move
+# for a good reason.
+bench-snapshot:
+	$(GO) run ./cmd/hpfbench -repeat 3 -speedup -irregular -wires -json BENCH_6.json
+
+# CI perf-regression gate: a fresh best-of-3 record must stay within
+# 1.5x of the committed snapshot on every timed section, keep the
+# deterministic frame/message counts exactly, and keep shm >=5x
+# faster per message than tcp.
+bench-gate:
+	$(GO) run ./cmd/hpfbench -repeat 3 -speedup -irregular -wires -json /tmp/hpfnt-bench-current.json > /dev/null
+	$(GO) run ./cmd/benchgate -baseline BENCH_6.json -current /tmp/hpfnt-bench-current.json -tol 1.5
 
 # The 512² Jacobi schedule-replay speedup gate (spmd >= 1.5x sim).
 speedup:

@@ -486,10 +486,12 @@ func BenchmarkIrregularReplaySteady(b *testing.B) {
 }
 
 // benchGhostExchange builds the 256² row-blocked 5-point Jacobi
-// schedule on a spmd engine over the given transport and replays it:
-// per execution the schedule moves 14 boundary-row messages between
-// the 8 workers, so the per-iteration delta between the inproc and
-// tcp variants quantifies the wire's per-message overhead.
+// schedule on a spmd engine over the given transport and replays it
+// as one epoch. The statement (B <- A) does not overwrite its input,
+// so schedule-level coalescing ships each pair's frame once for the
+// whole epoch: the reported frames/op vs msgs/op metrics show the
+// coalescing win per wire (frames/op tends to zero as N grows while
+// the cost model still charges 14 logical messages per iteration).
 func benchGhostExchange(b *testing.B, transportKind string) {
 	const n, np = 256, 8
 	eng, err := engine.NewOn(engine.SPMD, transportKind, np, machine.DefaultCost())
@@ -508,23 +510,78 @@ func benchGhostExchange(b *testing.B, transportKind string) {
 	if _, err := workload.JacobiReplay(eng, n, 1, am, bm); err != nil {
 		b.Fatal(err)
 	}
+	eng.Reset()
 	b.ReportAllocs()
 	b.ResetTimer()
-	if _, err := workload.JacobiReplay(eng, n, b.N, am, bm); err != nil {
+	rep, err := workload.JacobiReplay(eng, n, b.N, am, bm)
+	if err != nil {
 		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Machine().WireFrames())/float64(b.N), "frames/op")
+	b.ReportMetric(float64(rep.Messages)/float64(b.N), "msgs/op")
+}
+
+// BenchmarkGhostExchangeTransport runs the coalesced ghost exchange
+// over every registered wire.
+func BenchmarkGhostExchangeTransport(b *testing.B) {
+	for _, kind := range transport.Kinds() {
+		b.Run(kind, func(b *testing.B) { benchGhostExchange(b, kind) })
 	}
 }
 
-// BenchmarkGhostExchangeTransportInproc/Tcp are the transport
-// overhead pair of cmd/hpfbench: the identical compiled ghost
-// exchange over buffered channels versus length-prefixed frames on
-// localhost sockets.
-func BenchmarkGhostExchangeTransportInproc(b *testing.B) {
-	benchGhostExchange(b, engine.InprocTransport)
+// benchGhostExchangeInPlace is the non-coalescible counterpart: an
+// in-place sweep (A <- A) whose every iteration depends on the
+// previous stores, so each of the 14 boundary frames must cross the
+// wire per iteration — the per-iteration delta between wires
+// quantifies the raw per-message overhead inside a compiled schedule.
+func benchGhostExchangeInPlace(b *testing.B, transportKind string) {
+	const n, np = 256, 8
+	eng, err := engine.NewOn(engine.SPMD, transportKind, np, machine.DefaultCost())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	am, err := workload.BlockRowMapping(n, np)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := eng.NewArray("A", am)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Fill(func(t index.Tuple) float64 { return float64((t[0]*t[1])%97) * 1e-4 })
+	interior := index.Standard(2, n-1, 2, n-1)
+	terms := []engine.Term{
+		engine.Read(a, 0.25, -1, 0),
+		engine.Read(a, 0.25, 1, 0),
+		engine.Read(a, 0.25, 0, -1),
+		engine.Read(a, 0.25, 0, 1),
+	}
+	sched, err := a.NewSchedule(interior, terms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sched.Execute(); err != nil {
+		b.Fatal(err)
+	}
+	eng.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := sched.ExecuteN(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Machine().WireFrames())/float64(b.N), "frames/op")
+	b.ReportMetric(float64(eng.Stats().Messages)/float64(b.N), "msgs/op")
 }
 
-func BenchmarkGhostExchangeTransportTcp(b *testing.B) {
-	benchGhostExchange(b, engine.TCPTransport)
+// BenchmarkGhostExchangeInPlaceTransport runs the per-iteration ghost
+// exchange over every registered wire.
+func BenchmarkGhostExchangeInPlaceTransport(b *testing.B) {
+	for _, kind := range transport.Kinds() {
+		b.Run(kind, func(b *testing.B) { benchGhostExchangeInPlace(b, kind) })
+	}
 }
 
 // benchTransportMessage measures the raw per-message cost of one
@@ -546,6 +603,11 @@ func benchTransportMessage(b *testing.B, kind string) {
 	}
 }
 
-func BenchmarkTransportMessageInproc(b *testing.B) { benchTransportMessage(b, transport.Inproc) }
-
-func BenchmarkTransportMessageTcp(b *testing.B) { benchTransportMessage(b, transport.TCP) }
+// BenchmarkTransportMessage measures every registered wire (the
+// shm-vs-tcp ratio here is the tentpole's ≥5× acceptance gate; see
+// cmd/benchgate).
+func BenchmarkTransportMessage(b *testing.B) {
+	for _, kind := range transport.Kinds() {
+		b.Run(kind, func(b *testing.B) { benchTransportMessage(b, kind) })
+	}
+}

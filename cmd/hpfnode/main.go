@@ -1,14 +1,18 @@
 // Command hpfnode is the multi-process SPMD worker daemon: N
-// processes join a named job over the tcp transport (length-prefixed
-// frames over localhost sockets, handshake carrying process rank
-// range and job generation) and execute the same deterministic
-// workloads the in-process engine runs — each process hosts its block
-// of the abstract processors, array values live only on their hosting
-// process, and ghost, remap, reduction and irregular-gather traffic
-// crosses real sockets. Usage:
+// processes join a named job over a real inter-process wire — tcp
+// (length-prefixed frames over localhost sockets, handshake carrying
+// process rank range and job generation) or shm (lock-free
+// shared-memory rings in one mmap'd file) — and execute the same
+// deterministic workloads the in-process engine runs: each process
+// hosts its block of the abstract processors, array values live only
+// on their hosting process, and ghost, remap, reduction and
+// irregular-gather traffic crosses the wire. Usage:
 //
 //	# one command: spawn a 4-process job on localhost and verify it
 //	hpfnode -spawn -procs 4 -np 8 -workload all
+//
+//	# same job over shared-memory rings instead of sockets
+//	hpfnode -spawn -procs 4 -np 8 -transport shm -workload all
 //
 //	# or launch the processes by hand (e.g. one per terminal/container)
 //	hpfnode -job demo -addr 127.0.0.1:9137 -procs 2 -self 0 -np 8 -workload jacobi
@@ -38,7 +42,8 @@ import (
 
 var (
 	job      = flag.String("job", "hpfnt", "job name; all members must agree")
-	addr     = flag.String("addr", "127.0.0.1:0", "leader rendezvous address (host:port); port 0 auto-picks (only useful with -spawn)")
+	wire     = flag.String("transport", transport.TCP, "inter-process wire: tcp (localhost sockets) or shm (mmap'd shared-memory rings)")
+	addr     = flag.String("addr", "127.0.0.1:0", "tcp leader rendezvous address (host:port); port 0 auto-picks (only useful with -spawn)")
 	procs    = flag.Int("procs", 2, "number of OS processes in the job")
 	self     = flag.Int("self", 0, "this process's index (0 = leader)")
 	np       = flag.Int("np", 8, "abstract processor (worker rank) count, partitioned over the processes")
@@ -68,12 +73,17 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "hpfnode: -spawn is only valid on the leader (-self 0)")
 			return 1
 		}
-		var err error
-		rendezvous, err = resolveAddr(rendezvous)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hpfnode: %v\n", err)
-			return 1
+		// The shm wire rendezvouses on the mmap'd file derived from
+		// the job name, not on a socket address.
+		if *wire == transport.TCP {
+			var err error
+			rendezvous, err = resolveAddr(rendezvous)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hpfnode: %v\n", err)
+				return 1
+			}
 		}
+		var err error
 		children, err = spawnPeers(rendezvous)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hpfnode: %v\n", err)
@@ -112,7 +122,7 @@ func spawnPeers(rendezvous string) ([]*exec.Cmd, error) {
 	var children []*exec.Cmd
 	for i := 1; i < *procs; i++ {
 		c := exec.Command(bin,
-			"-job", *job, "-addr", rendezvous,
+			"-job", *job, "-transport", *wire, "-addr", rendezvous,
 			"-procs", strconv.Itoa(*procs), "-self", strconv.Itoa(i),
 			"-np", strconv.Itoa(*np), "-workload", *wl,
 			"-n", strconv.Itoa(*size), "-iters", strconv.Itoa(*iters),
@@ -135,17 +145,29 @@ func spawnPeers(rendezvous string) ([]*exec.Cmd, error) {
 // workloads in lockstep with the other members, and (on the leader)
 // verify against the in-process engine.
 func runMember(rendezvous string, names []string) int {
-	tr, err := transport.NewTCP(transport.TCPConfig{
-		Job: *job, NP: *np, Procs: *procs, Self: *self,
-		Generation: *gen, Addr: rendezvous, Timeout: *timeout,
-	})
+	var tr transport.Transport
+	var err error
+	switch *wire {
+	case transport.TCP:
+		tr, err = transport.NewTCP(transport.TCPConfig{
+			Job: *job, NP: *np, Procs: *procs, Self: *self,
+			Generation: *gen, Addr: rendezvous, Timeout: *timeout,
+		})
+	case transport.Shm:
+		tr, err = transport.NewShm(transport.ShmConfig{
+			Job: *job, NP: *np, Procs: *procs, Self: *self,
+			Generation: *gen, Timeout: *timeout,
+		})
+	default:
+		err = fmt.Errorf("unknown -transport %q (tcp or shm)", *wire)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpfnode[%d]: joining job %q: %v\n", *self, *job, err)
 		return 1
 	}
 	lo, hi := transport.RanksOf(*np, *procs, *self)
-	fmt.Printf("hpfnode[%d]: joined job %q gen %d: %d procs, ranks %d..%d of %d\n",
-		*self, *job, *gen, *procs, lo, hi, *np)
+	fmt.Printf("hpfnode[%d]: joined job %q gen %d over %s: %d procs, ranks %d..%d of %d\n",
+		*self, *job, *gen, *wire, *procs, lo, hi, *np)
 	eng, err := engine.NewSPMDOn(tr, machine.DefaultCost())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpfnode[%d]: %v\n", *self, err)
@@ -171,7 +193,7 @@ func runMember(rendezvous string, names []string) int {
 			fmt.Fprintf(os.Stderr, "hpfnode[0]: %s: VERIFY FAILED: %v\n", name, err)
 			code = 1
 		} else {
-			fmt.Printf("hpfnode[0]: %-9s verified against the in-process engine (values + report identical)\n", name)
+			fmt.Printf("hpfnode[0]: %-9s verified on the %s wire against the in-process engine (values + report identical)\n", name, *wire)
 		}
 	}
 	return code

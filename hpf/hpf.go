@@ -154,8 +154,8 @@ func SetDefaultEngine(kind string) error { return engine.SetDefault(kind) }
 func DefaultEngine() string { return engine.Default }
 
 // SetDefaultTransport selects the spmd backend's message transport
-// ("inproc" or "tcp") for subsequently created programs and workload
-// sweeps. The initial default comes from the HPFNT_TRANSPORT
+// ("inproc", "shm" or "tcp") for subsequently created programs and
+// workload sweeps. The initial default comes from the HPFNT_TRANSPORT
 // environment variable (falling back to "inproc"). The sim backend
 // performs no communication and ignores the transport.
 func SetDefaultTransport(kind string) error { return engine.SetDefaultTransport(kind) }
@@ -182,7 +182,7 @@ func NewProgramEngine(name, kind string, np int, cost machine.CostModel) (*Progr
 }
 
 // NewProgramTransport creates a program on an explicit execution
-// backend and spmd message transport ("inproc" or "tcp"): the
+// backend and spmd message transport ("inproc", "shm" or "tcp"): the
 // programmatic form of the HPFNT_ENGINE / HPFNT_TRANSPORT selection.
 func NewProgramTransport(name, kind, transportKind string, np int, cost machine.CostModel) (*Program, error) {
 	sys, err := proc.NewSystem(np)

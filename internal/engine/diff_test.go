@@ -23,7 +23,8 @@ type scenario struct {
 	shift    [2]int
 	srcRep   bool // use a replicated source term
 	replayIt int
-	// tkind is the spmd transport the scenario runs on ("inproc" or
+	// tkind is the spmd transport the scenario runs on ("inproc",
+	// "shm" or
 	// "tcp"); the sim backend performs no communication.
 	tkind string
 }
@@ -194,23 +195,21 @@ func formatFor(sel, k uint8, n, np int) dist.Format {
 
 // FuzzEngineEquivalence is the differential fuzz target of the spmd
 // engine against the sequential oracle: for random formats, shifts,
-// replicated sources, remaps and transports (inproc channels or tcp
-// loopback sockets), both backends must produce identical array
-// values, identical remap counts, identical reduction results and an
-// identical machine.Report.
+// replicated sources, remaps and transports (inproc channels, shm
+// rings or tcp loopback sockets), both backends must produce
+// identical array values, identical remap counts, identical
+// reduction results and an identical machine.Report.
 func FuzzEngineEquivalence(f *testing.F) {
-	f.Add(uint8(4), uint8(12), uint8(0), uint8(2), uint8(0), uint8(1), uint8(2), false, false)
-	f.Add(uint8(3), uint8(9), uint8(2), uint8(4), uint8(3), uint8(3), uint8(3), false, true)
-	f.Add(uint8(5), uint8(16), uint8(4), uint8(1), uint8(7), uint8(2), uint8(0), true, false)
-	f.Add(uint8(2), uint8(7), uint8(3), uint8(0), uint8(1), uint8(4), uint8(2), false, true)
-	f.Add(uint8(6), uint8(10), uint8(1), uint8(4), uint8(9), uint8(2), uint8(2), true, true)
-	f.Fuzz(func(t *testing.T, npB, nB, sel1, sel2, k, sh0, sh1 uint8, srcRep, tcpWire bool) {
+	f.Add(uint8(4), uint8(12), uint8(0), uint8(2), uint8(0), uint8(1), uint8(2), false, uint8(0))
+	f.Add(uint8(3), uint8(9), uint8(2), uint8(4), uint8(3), uint8(3), uint8(3), false, uint8(2))
+	f.Add(uint8(5), uint8(16), uint8(4), uint8(1), uint8(7), uint8(2), uint8(0), true, uint8(1))
+	f.Add(uint8(2), uint8(7), uint8(3), uint8(0), uint8(1), uint8(4), uint8(2), false, uint8(2))
+	f.Add(uint8(6), uint8(10), uint8(1), uint8(4), uint8(9), uint8(2), uint8(2), true, uint8(1))
+	f.Fuzz(func(t *testing.T, npB, nB, sel1, sel2, k, sh0, sh1 uint8, srcRep bool, wireSel uint8) {
 		np := int(npB%7) + 2
 		n := int(nB%20) + 4
-		tkind := InprocTransport
-		if tcpWire {
-			tkind = TCPTransport
-		}
+		wires := Transports()
+		tkind := wires[int(wireSel)%len(wires)]
 		sc := scenario{
 			np:       np,
 			n:        n,

@@ -12,8 +12,9 @@
 // before programs are built (cmd/hpfbench does so for its -engine
 // flag). The spmd backend's wire is pluggable in the same way
 // (package transport): HPFNT_TRANSPORT or SetDefaultTransport selects
-// between "inproc" (buffered channels, the default) and "tcp"
-// (length-prefixed frames over localhost sockets); sim performs no
+// between "inproc" (buffered channels, the default), "shm" (lock-free
+// shared-memory rings) and "tcp" (length-prefixed frames over
+// localhost sockets); sim performs no
 // communication and ignores the transport. Multi-process spmd
 // engines are built directly over a joined transport with
 // NewSPMDOn (see cmd/hpfnode).
@@ -45,6 +46,11 @@ const (
 const (
 	// InprocTransport is the in-process channel wire (the default).
 	InprocTransport = transport.Inproc
+	// ShmTransport carries the streams over lock-free ring buffers in
+	// one shared mmap'd file — the fast multi-process wire (single-
+	// process loopback here; joined multi-process jobs are built via
+	// NewSPMDOn).
+	ShmTransport = transport.Shm
 	// TCPTransport carries the same streams as length-prefixed frames
 	// over localhost sockets (single-process loopback here; joined
 	// multi-process jobs are built via NewSPMDOn).
@@ -209,9 +215,10 @@ func New(kind string, np int, cost machine.CostModel) (Engine, error) {
 }
 
 // NewOn creates a backend of the given kind on an explicit transport
-// kind. For spmd, "inproc" is the channel wire and "tcp" the
-// single-process socket loopback; the sim backend ignores the
-// transport (it still validates the name).
+// kind. For spmd, "inproc" is the channel wire, "shm" the shared-
+// memory ring loopback and "tcp" the single-process socket loopback;
+// the sim backend ignores the transport (it still validates the
+// name).
 func NewOn(kind, transportKind string, np int, cost machine.CostModel) (Engine, error) {
 	switch kind {
 	case Sim:

@@ -51,6 +51,7 @@ type Machine struct {
 
 	localRefs  int64
 	remoteRefs int64
+	wireFrames int64
 	load       []int64
 	sendElems  []int64
 	recvElems  []int64
@@ -74,6 +75,7 @@ func (m *Machine) Reset() {
 	m.elems = map[pair]int{}
 	m.localRefs = 0
 	m.remoteRefs = 0
+	m.wireFrames = 0
 	m.load = make([]int64, m.NP+1)
 	m.sendElems = make([]int64, m.NP+1)
 	m.recvElems = make([]int64, m.NP+1)
@@ -103,6 +105,19 @@ func (m *Machine) Send(src, dst, n int) {
 	m.sendElems[src] += int64(n)
 	m.recvElems[dst] += int64(n)
 }
+
+// AddWireFrames counts n physical frames actually handed to the
+// transport. This is bookkeeping beside the cost model, not part of
+// it: Report.Messages stays the paper's logical per-statement message
+// count (identical across engines and wires), while WireFrames shows
+// what schedule-level coalescing saved — an epoch that replays a
+// schedule k times still ships each (sender,receiver) pair's ghost
+// region once when the statement does not overwrite its own inputs.
+func (m *Machine) AddWireFrames(n int) { m.wireFrames += int64(n) }
+
+// WireFrames returns the physical frame count (this process's share
+// on a multi-process job; job-wide totals travel with EncodeCounters).
+func (m *Machine) WireFrames() int64 { return m.wireFrames }
 
 // RecordLocal counts n element references satisfied locally.
 func (m *Machine) RecordLocal(n int) { m.localRefs += int64(n) }
@@ -169,12 +184,12 @@ func (m *Machine) Stats() Report {
 // EncodeCounters flattens the machine's raw counters into a float64
 // vector (counts stay far below 2^53, so the encoding is exact) for
 // shipment between the processes of a multi-process spmd job:
-// [localRefs, remoteRefs, load(1..NP), sendElems(1..NP),
+// [localRefs, remoteRefs, wireFrames, load(1..NP), sendElems(1..NP),
 // recvElems(1..NP), sendMsgs(1..NP), recvMsgs(1..NP), pairCount,
 // (src, dst, msgs, elems)...]. MergeCounters is its inverse-and-add.
 func (m *Machine) EncodeCounters() []float64 {
-	out := make([]float64, 0, 2+5*m.NP+1+4*len(m.msgs))
-	out = append(out, float64(m.localRefs), float64(m.remoteRefs))
+	out := make([]float64, 0, 3+5*m.NP+1+4*len(m.msgs))
+	out = append(out, float64(m.localRefs), float64(m.remoteRefs), float64(m.wireFrames))
 	for _, vec := range [][]int64{m.load, m.sendElems, m.recvElems, m.sendMsgs, m.recvMsgs} {
 		for p := 1; p <= m.NP; p++ {
 			out = append(out, float64(vec[p]))
@@ -193,7 +208,7 @@ func (m *Machine) EncodeCounters() []float64 {
 // to the job-wide counters, because every event (send, load, local or
 // remote reference) is charged by exactly one process.
 func (m *Machine) MergeCounters(enc []float64) error {
-	head := 2 + 5*m.NP + 1
+	head := 3 + 5*m.NP + 1
 	if len(enc) < head {
 		return fmt.Errorf("machine: counter vector has %d entries, want at least %d", len(enc), head)
 	}
@@ -203,7 +218,8 @@ func (m *Machine) MergeCounters(enc []float64) error {
 	}
 	m.localRefs += int64(enc[0])
 	m.remoteRefs += int64(enc[1])
-	i := 2
+	m.wireFrames += int64(enc[2])
+	i := 3
 	for _, vec := range [][]int64{m.load, m.sendElems, m.recvElems, m.sendMsgs, m.recvMsgs} {
 		for p := 1; p <= m.NP; p++ {
 			vec[p] += int64(enc[i])

@@ -329,6 +329,10 @@ type sendCount struct {
 	dst   int
 	elems int
 	msgs  int
+	// frames is the number of Send calls actually made on the wire
+	// for this pair during the epoch: msgs when every iteration
+	// exchanged, 1 when the schedule coalesced (constGhost).
+	frames int
 }
 
 // flush applies a worker's counters to the shared machine.
@@ -344,5 +348,6 @@ func (e *Engine) flush(p int, c *counters) {
 		for i := 0; i < s.msgs; i++ {
 			e.mach.Send(p, s.dst, s.elems)
 		}
+		e.mach.AddWireFrames(s.frames)
 	}
 }

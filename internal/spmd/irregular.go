@@ -24,6 +24,11 @@ type IrregularSchedule struct {
 	plans      []*iplan
 	ghostTotal int
 	messages   int
+	// constGhost: the gather source is a different array from the
+	// accumulator, so halo data is invariant across an ExecuteN epoch
+	// and each pair's frame ships once per epoch (schedule-level
+	// coalescing; see Schedule.constGhost).
+	constGhost bool
 	arrays     []*Array
 	gens       []int
 }
@@ -84,6 +89,7 @@ func (e *Engine) BuildIrregular(lhs, src *Array, pat inspector.Pattern) (*Irregu
 		plans:      make([]*iplan, e.np+1),
 		ghostTotal: sched.GhostElements(),
 		messages:   sched.Messages(),
+		constGhost: lhs != src,
 		arrays:     []*Array{lhs, src},
 	}
 	planOf := func(p int) *iplan {
@@ -166,15 +172,19 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 			return
 		}
 		for it := 0; it < iters; it++ {
-			wp.step(e, p)
+			wp.step(e, p, it == 0 || !s.constGhost)
 		}
 		c := counters{
 			load:       wp.load * iters,
 			localRefs:  wp.localRefs * iters,
 			remoteRefs: wp.remoteRefs * iters,
 		}
+		frames := iters
+		if s.constGhost {
+			frames = 1
+		}
 		for _, sp := range wp.sends {
-			c.sends = append(c.sends, sendCount{dst: sp.dst, elems: len(sp.slots), msgs: iters})
+			c.sends = append(c.sends, sendCount{dst: sp.dst, elems: len(sp.slots), msgs: iters, frames: frames})
 		}
 		e.flush(p, &c)
 	})
@@ -183,21 +193,24 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 // step is one worker's iteration: gather-and-send the owned halo
 // elements, receive and scatter the incoming ones, accumulate, and
 // store (all reads precede every store, Fortran array-assignment
-// semantics).
-func (wp *iplan) step(e *Engine, p int) {
-	for i := range wp.sends {
-		sp := &wp.sends[i]
-		buf := make([]float64, len(sp.slots))
-		for k, sl := range sp.slots {
-			buf[k] = wp.srcData[sl]
+// semantics). With comm false (a coalesced replay) the halo exchange
+// is skipped and the epoch's first scattered ghost buffer is reused.
+func (wp *iplan) step(e *Engine, p int, comm bool) {
+	if comm {
+		for i := range wp.sends {
+			sp := &wp.sends[i]
+			buf := make([]float64, len(sp.slots))
+			for k, sl := range sp.slots {
+				buf[k] = wp.srcData[sl]
+			}
+			e.send(p, sp.dst, buf)
 		}
-		e.send(p, sp.dst, buf)
-	}
-	for i := range wp.recvs {
-		rp := &wp.recvs[i]
-		msg := e.recv(rp.src, p)
-		for k, v := range msg {
-			wp.ghost[rp.targets[k]] = v
+		for i := range wp.recvs {
+			rp := &wp.recvs[i]
+			msg := e.recv(rp.src, p)
+			for k, v := range msg {
+				wp.ghost[rp.targets[k]] = v
+			}
 		}
 	}
 	for i := range wp.acc {

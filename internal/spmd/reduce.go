@@ -89,7 +89,7 @@ func (e *Engine) Reduce(a *Array, op runtime.ReduceOp) (float64, error) {
 		for _, st := range steps[p] {
 			if st.send {
 				e.send(p, st.peer, []float64{partial})
-				c.sends = append(c.sends, sendCount{dst: st.peer, elems: 1, msgs: 1})
+				c.sends = append(c.sends, sendCount{dst: st.peer, elems: 1, msgs: 1, frames: 1})
 				continue
 			}
 			msg := e.recv(st.peer, p)

@@ -122,7 +122,7 @@ func (e *Engine) Remap(a *Array, newMap core.ElementMapping) (int, error) {
 				buf[k] = oldData[sl]
 			}
 			e.send(p, sp.dst, buf)
-			c.sends = append(c.sends, sendCount{dst: sp.dst, elems: len(sp.oldSlots), msgs: 1})
+			c.sends = append(c.sends, sendCount{dst: sp.dst, elems: len(sp.oldSlots), msgs: 1, frames: 1})
 		}
 		for i := range wp.recvs {
 			rp := &wp.recvs[i]

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package transport
+
+import (
+	"fmt"
+	"os"
+)
+
+// The shm transport needs a shared file mapping; platforms without
+// one (windows, wasm) report it unsupported and callers fall back to
+// inproc or tcp.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("transport: shm wire not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package transport
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f shared and read-write. The mapping
+// stays valid after f is closed or unlinked, which is what the shm
+// transport's rendezvous relies on: the leader can remove the file as
+// soon as every process has attached.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,777 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// The shm wire: one mmap'd file shared by every process of the job,
+// carved into lock-free single-producer/single-consumer byte-stream
+// rings — one data ring per ordered rank pair plus one collective
+// ring per ordered process pair. The fast path is two atomic loads,
+// two memcpys and one atomic store with no syscall; waiting sides
+// spin, yield, then sleep in escalating steps (poor man's futex —
+// portable, and the sleep bounds idle burn at ~100µs wakeup latency).
+//
+// Frames are byte streams, not slots: a frame is a 4-byte little-
+// endian payload length followed by the raw float64 bytes (native
+// byte order — both ends share one machine by construction). A frame
+// larger than the ring streams through it in chunks, so there is no
+// message size limit. Send never blocks: if the frame does not fit,
+// it spills to an unbounded process-local queue drained by a pump
+// goroutine, preserving FIFO order per ring and keeping the engine's
+// send-all-then-receive pattern deadlock-free even when two processes
+// flood each other.
+//
+// Failure is sticky and cross-process: Fail sets a shared flag in the
+// file header; every blocked wait polls it, aborts, and latches the
+// local failBox, so a panic on one process unblocks all of them (the
+// shm analogue of tcp's connection teardown). A process killed hard
+// (SIGKILL) cannot set the flag — unlike tcp there is no reset signal,
+// so surviving processes keep waiting; drive multi-process shm jobs
+// under a supervisor timeout (cmd/hpfnode -timeout).
+
+// Shm ring geometry. Capacities are powers of two so positions wrap
+// with a mask; head/tail live on separate cache lines. One 8-rank
+// job maps 64 data rings ≈ 4.2 MB of tmpfs, committed only as pages
+// are touched.
+const (
+	shmMagic    = 0x48504653484d3136 // "HPFSHM16"
+	shmVersion  = 1
+	shmHdrSize  = 4096
+	shmRingCtrl = 128
+	shmDataCap  = 1 << 16
+	shmCollCap  = 1 << 14
+)
+
+// Header field offsets (all 8-byte slots; magic is stored last with
+// release semantics, so a peer that observes it sees a fully
+// initialised header).
+const (
+	shmOffMagic    = 0
+	shmOffVersion  = 8
+	shmOffNP       = 16
+	shmOffProcs    = 24
+	shmOffGen      = 32
+	shmOffJobHash  = 40
+	shmOffFailed   = 48
+	shmOffAttached = 56
+)
+
+// Collective frame kinds ([4]len [1]kind [len-1]payload on the
+// process-pair rings; the deterministic replicated control flow means
+// both ends always agree on the next expected kind).
+const (
+	shmColBcast byte = iota + 1
+	shmColArrive
+	shmColRelease
+)
+
+// shmRing is one SPSC byte-stream ring in the mapping. head and tail
+// are free-running byte counts: the producer owns head, the consumer
+// owns tail, and occupancy is head-tail. pending is the producer-side
+// spill queue (flat frame bytes awaiting ring space), drained by the
+// transport's pump goroutine.
+type shmRing struct {
+	head *uint64
+	tail *uint64
+	buf  []byte
+	mask uint64
+
+	pmu     sync.Mutex // producer side: fast path vs pump
+	pending []byte
+	queued  atomic.Bool // ring is on the pump's dirty list
+
+	cmu sync.Mutex // consumer side
+}
+
+func (r *shmRing) capacity() uint64 { return r.mask + 1 }
+
+func (r *shmRing) copyIn(pos uint64, src []byte) {
+	i := int(pos & r.mask)
+	n := copy(r.buf[i:], src)
+	if n < len(src) {
+		copy(r.buf, src[n:])
+	}
+}
+
+func (r *shmRing) copyOut(pos uint64, dst []byte) {
+	i := int(pos & r.mask)
+	n := copy(dst, r.buf[i:])
+	if n < len(dst) {
+		copy(dst[n:], r.buf)
+	}
+}
+
+// push appends src to the ring; the caller (holding pmu) has already
+// established that it fits.
+func (r *shmRing) push(src []byte) {
+	head := atomic.LoadUint64(r.head)
+	r.copyIn(head, src)
+	atomic.StoreUint64(r.head, head+uint64(len(src)))
+}
+
+// ShmConfig describes one process's membership in a multi-process
+// shm job. The rendezvous is a file whose name is derived from Job,
+// Generation and Procs in Dir (default /dev/shm when present, else
+// the system temp dir): the leader (Self 0) creates and initialises
+// it, workers open it, validate the header and register themselves.
+type ShmConfig struct {
+	Job        string
+	NP         int
+	Procs      int
+	Self       int
+	Generation int
+	Dir        string
+	Timeout    time.Duration
+}
+
+// shm implements Transport over the mapped rings.
+type shm struct {
+	np, procs, self int
+	gen             int
+	fb              *failBox
+	closed          atomic.Bool
+
+	path   string
+	unlink bool
+	mem    []byte
+	failed *uint64 // shared cross-process failure flag in the header
+
+	data []*shmRing // np*np, ordered (src-1)*np+(dst-1)
+	coll []*shmRing // procs*procs when procs > 1, else nil
+
+	pumpMu   sync.Mutex
+	pumpCond *sync.Cond
+	pumpStop bool
+	dirty    []*shmRing
+	pumpDone chan struct{}
+}
+
+func shmDir(override string) string {
+	if override != "" {
+		return override
+	}
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}
+
+func shmSize(np, procs int) int {
+	size := shmHdrSize + np*np*(shmRingCtrl+shmDataCap)
+	if procs > 1 {
+		size += procs * procs * (shmRingCtrl + shmCollCap)
+	}
+	return size
+}
+
+func shmJobHash(job string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(job))
+	return h.Sum64()
+}
+
+func shmSanitize(job string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, job)
+}
+
+func shmPath(cfg ShmConfig) string {
+	name := fmt.Sprintf("hpfnt-%s-g%d-p%d.shm", shmSanitize(cfg.Job), cfg.Generation, cfg.Procs)
+	return filepath.Join(shmDir(cfg.Dir), name)
+}
+
+func shmHdrU64(b []byte, off int) *uint64 {
+	return (*uint64)(unsafe.Pointer(&b[off]))
+}
+
+func (t *shm) u64at(off int) *uint64 { return shmHdrU64(t.mem, off) }
+
+func (t *shm) ringAt(off, cap int) *shmRing {
+	return &shmRing{
+		head: t.u64at(off),
+		tail: t.u64at(off + 64),
+		buf:  t.mem[off+shmRingCtrl : off+shmRingCtrl+cap],
+		mask: uint64(cap) - 1,
+	}
+}
+
+// carve builds the process-local ring views over the mapping.
+func (t *shm) carve() {
+	t.failed = t.u64at(shmOffFailed)
+	t.data = make([]*shmRing, t.np*t.np)
+	off := shmHdrSize
+	for i := range t.data {
+		t.data[i] = t.ringAt(off, shmDataCap)
+		off += shmRingCtrl + shmDataCap
+	}
+	if t.procs > 1 {
+		t.coll = make([]*shmRing, t.procs*t.procs)
+		for i := range t.coll {
+			t.coll[i] = t.ringAt(off, shmCollCap)
+			off += shmRingCtrl + shmCollCap
+		}
+	}
+}
+
+func (t *shm) start() {
+	t.pumpCond = sync.NewCond(&t.pumpMu)
+	t.pumpDone = make(chan struct{})
+	go t.pump()
+}
+
+// NewShmLoop creates a single-process shm transport over np ranks:
+// every message crosses a real shared mapping (an anonymous tmpfs
+// file, unlinked immediately), exercising the ring protocol without
+// spawning processes.
+func NewShmLoop(np int) (Transport, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("transport: shm needs np >= 1, got %d", np)
+	}
+	t := &shm{np: np, procs: 1, self: 0, fb: newFailBox()}
+	f, err := os.CreateTemp(shmDir(""), "hpfnt-shm-*")
+	if err != nil {
+		return nil, fmt.Errorf("transport: shm backing file: %w", err)
+	}
+	path := f.Name()
+	size := shmSize(np, 1)
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("transport: shm truncate: %w", err)
+	}
+	mem, err := mmapFile(f, size)
+	f.Close()
+	os.Remove(path) // mapping survives the unlink; nothing to clean up on exit
+	if err != nil {
+		return nil, fmt.Errorf("transport: shm mmap: %w", err)
+	}
+	t.mem = mem
+	t.carve()
+	t.start()
+	return t, nil
+}
+
+// NewShm joins (Self > 0) or creates (Self == 0) the multi-process
+// shm job described by cfg, blocking until every process has
+// attached. Like the tcp rendezvous, the leader rejects nothing by
+// generation — a stale worker simply computes a different file name
+// and times out — but header validation catches shape mismatches.
+func NewShm(cfg ShmConfig) (Transport, error) {
+	if cfg.NP < 1 || cfg.Procs < 1 || cfg.Self < 0 || cfg.Self >= cfg.Procs {
+		return nil, fmt.Errorf("transport: bad shm config np=%d procs=%d self=%d", cfg.NP, cfg.Procs, cfg.Self)
+	}
+	if lo, hi := RanksOf(cfg.NP, cfg.Procs, cfg.Self); hi < lo {
+		return nil, fmt.Errorf("transport: process %d hosts no ranks (np=%d procs=%d)", cfg.Self, cfg.NP, cfg.Procs)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Procs == 1 {
+		return NewShmLoop(cfg.NP)
+	}
+	t := &shm{np: cfg.NP, procs: cfg.Procs, self: cfg.Self, gen: cfg.Generation, fb: newFailBox()}
+	t.path = shmPath(cfg)
+	size := shmSize(cfg.NP, cfg.Procs)
+	deadline := time.Now().Add(cfg.Timeout)
+	if cfg.Self == 0 {
+		os.Remove(t.path) // clear a stale mapping from a crashed job
+		f, err := os.OpenFile(t.path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0600)
+		if err != nil {
+			return nil, fmt.Errorf("transport: shm create %s: %w", t.path, err)
+		}
+		t.unlink = true
+		if err := f.Truncate(int64(size)); err != nil {
+			f.Close()
+			os.Remove(t.path)
+			return nil, fmt.Errorf("transport: shm truncate: %w", err)
+		}
+		t.mem, err = mmapFile(f, size)
+		f.Close()
+		if err != nil {
+			os.Remove(t.path)
+			return nil, fmt.Errorf("transport: shm mmap: %w", err)
+		}
+		t.carve()
+		atomic.StoreUint64(t.u64at(shmOffVersion), shmVersion)
+		atomic.StoreUint64(t.u64at(shmOffNP), uint64(cfg.NP))
+		atomic.StoreUint64(t.u64at(shmOffProcs), uint64(cfg.Procs))
+		atomic.StoreUint64(t.u64at(shmOffGen), uint64(cfg.Generation))
+		atomic.StoreUint64(t.u64at(shmOffJobHash), shmJobHash(cfg.Job))
+		atomic.StoreUint64(t.u64at(shmOffMagic), shmMagic) // publish: header complete
+		attached := t.u64at(shmOffAttached)
+		for atomic.LoadUint64(attached) != uint64(cfg.Procs-1) {
+			if time.Now().After(deadline) {
+				got := atomic.LoadUint64(attached)
+				t.destroy()
+				return nil, fmt.Errorf("transport: shm job %q generation %d: %d/%d workers attached before timeout",
+					cfg.Job, cfg.Generation, got, cfg.Procs-1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	} else {
+		// Open and wait for a sized file, then map ONLY the header page
+		// and validate it before trusting the full size: a mis-shaped
+		// worker computing a larger mapping than the real file would
+		// fault on first touch, so the shape check must come first.
+		var f *os.File
+		for {
+			var err error
+			f, err = os.OpenFile(t.path, os.O_RDWR, 0600)
+			if err == nil {
+				if fi, serr := f.Stat(); serr == nil && fi.Size() >= shmHdrSize {
+					break
+				}
+				f.Close()
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("transport: shm rendezvous %s not available before timeout (job %q generation %d)", t.path, cfg.Job, cfg.Generation)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		hdr, err := mmapFile(f, shmHdrSize)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("transport: shm mmap header: %w", err)
+		}
+		for atomic.LoadUint64(shmHdrU64(hdr, shmOffMagic)) != shmMagic {
+			if time.Now().After(deadline) {
+				munmapFile(hdr)
+				f.Close()
+				return nil, fmt.Errorf("transport: shm header never initialised (job %q)", cfg.Job)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		verr := validateShmHeader(hdr, cfg)
+		munmapFile(hdr)
+		if verr != nil {
+			f.Close()
+			return nil, verr
+		}
+		t.mem, err = mmapFile(f, size)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("transport: shm mmap: %w", err)
+		}
+		t.carve()
+		atomic.AddUint64(t.u64at(shmOffAttached), 1)
+	}
+	t.start()
+	if err := t.Barrier(); err != nil { // job starts aligned, like tcp's bootstrap barrier
+		t.Close()
+		return nil, fmt.Errorf("transport: shm bootstrap barrier: %w", err)
+	}
+	return t, nil
+}
+
+func validateShmHeader(hdr []byte, cfg ShmConfig) error {
+	ver := atomic.LoadUint64(shmHdrU64(hdr, shmOffVersion))
+	np := atomic.LoadUint64(shmHdrU64(hdr, shmOffNP))
+	procs := atomic.LoadUint64(shmHdrU64(hdr, shmOffProcs))
+	gen := atomic.LoadUint64(shmHdrU64(hdr, shmOffGen))
+	job := atomic.LoadUint64(shmHdrU64(hdr, shmOffJobHash))
+	if ver != shmVersion || np != uint64(cfg.NP) || procs != uint64(cfg.Procs) ||
+		gen != uint64(cfg.Generation) || job != shmJobHash(cfg.Job) {
+		return fmt.Errorf("transport: shm header mismatch (job %q np=%d procs=%d generation=%d vs mapped np=%d procs=%d generation=%d)",
+			cfg.Job, cfg.NP, cfg.Procs, cfg.Generation, np, procs, gen)
+	}
+	return nil
+}
+
+// destroy unmaps without the pump handshake (bootstrap-failure path;
+// the pump has not started yet).
+func (t *shm) destroy() {
+	if t.mem != nil {
+		munmapFile(t.mem)
+		t.mem = nil
+	}
+	if t.unlink {
+		os.Remove(t.path)
+	}
+}
+
+func (t *shm) Kind() string        { return Shm }
+func (t *shm) NP() int             { return t.np }
+func (t *shm) Procs() int          { return t.procs }
+func (t *shm) Self() int           { return t.self }
+func (t *shm) HostOf(rank int) int { return HostOfRank(t.np, t.procs, rank) }
+
+func (t *shm) dataRing(src, dst int) *shmRing { return t.data[(src-1)*t.np+(dst-1)] }
+func (t *shm) collRing(from, to int) *shmRing { return t.coll[from*t.procs+to] }
+
+// failedNow reports whether the transport is failed or closed,
+// promoting the shared cross-process flag into the local failBox so
+// Err observes it.
+func (t *shm) failedNow() bool {
+	if t.closed.Load() {
+		return true
+	}
+	select {
+	case <-t.fb.stop:
+		return true
+	default:
+	}
+	if t.failed != nil && atomic.LoadUint64(t.failed) != 0 {
+		t.fb.fail(errors.New("transport: shm job failed on a peer process"))
+		return true
+	}
+	return false
+}
+
+// relax is the waiting side's escalation: spin hot briefly (the
+// common case is a peer already mid-copy), yield the P for a while,
+// then sleep in steps capped at 100µs so an idle wait costs ~zero CPU
+// while wakeup latency stays far below a scheduler quantum.
+func relax(spins int) {
+	switch {
+	case spins < 64:
+	case spins < 1024:
+		runtime.Gosched()
+	default:
+		d := time.Duration(spins-1023) * time.Microsecond
+		if d > 100*time.Microsecond {
+			d = 100 * time.Microsecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// readFull drains len(dst) bytes from r, blocking as needed; false
+// when the transport fails first. Bytes already in the ring are
+// delivered even after a failure (drain-then-nil, like the tcp
+// mailboxes).
+func (t *shm) readFull(r *shmRing, dst []byte) bool {
+	got, spins := 0, 0
+	for got < len(dst) {
+		head := atomic.LoadUint64(r.head)
+		tail := atomic.LoadUint64(r.tail)
+		if avail := head - tail; avail > 0 {
+			n := uint64(len(dst) - got)
+			if n > avail {
+				n = avail
+			}
+			r.copyOut(tail, dst[got:got+int(n)])
+			atomic.StoreUint64(r.tail, tail+n)
+			got += int(n)
+			spins = 0
+			continue
+		}
+		if t.failedNow() {
+			return false
+		}
+		spins++
+		relax(spins)
+	}
+	return true
+}
+
+// writeFull streams src into r, blocking on ring space; used by the
+// collective rings and the pump, never by Send's caller path.
+func (t *shm) writeFull(r *shmRing, src []byte) bool {
+	done, spins := 0, 0
+	for done < len(src) {
+		head := atomic.LoadUint64(r.head)
+		tail := atomic.LoadUint64(r.tail)
+		if free := r.capacity() - (head - tail); free > 0 {
+			n := len(src) - done
+			if uint64(n) > free {
+				n = int(free)
+			}
+			r.copyIn(head, src[done:done+n])
+			atomic.StoreUint64(r.head, head+uint64(n))
+			done += n
+			spins = 0
+			continue
+		}
+		if t.failedNow() {
+			return false
+		}
+		spins++
+		relax(spins)
+	}
+	return true
+}
+
+func floatBytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func (t *shm) Send(src, dst int, msg []float64) {
+	if t.failedNow() {
+		return // failed transport: drop
+	}
+	r := t.dataRing(src, dst)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)*8))
+	payload := floatBytes(msg)
+	r.pmu.Lock()
+	if len(r.pending) == 0 {
+		head := atomic.LoadUint64(r.head)
+		tail := atomic.LoadUint64(r.tail)
+		if free := r.capacity() - (head - tail); free >= uint64(4+len(payload)) {
+			r.push(hdr[:])
+			r.push(payload)
+			r.pmu.Unlock()
+			return
+		}
+	}
+	// Slow path: the receiver is behind (or a huge frame); spill and
+	// let the pump stream it in so Send never blocks.
+	r.pending = append(r.pending, hdr[:]...)
+	r.pending = append(r.pending, payload...)
+	r.pmu.Unlock()
+	t.markDirty(r)
+}
+
+func (t *shm) Recv(src, dst int) []float64 {
+	r := t.dataRing(src, dst)
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	var hdr [4]byte
+	if !t.readFull(r, hdr[:]) {
+		return nil
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	out := make([]float64, n/8)
+	if n == 0 {
+		return out
+	}
+	if !t.readFull(r, floatBytes(out)) {
+		return nil
+	}
+	return out
+}
+
+// collWrite emits one collective frame on a process-pair ring.
+func (t *shm) collWrite(r *shmRing, kind byte, payload []byte) bool {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = kind
+	return t.writeFull(r, hdr[:]) && t.writeFull(r, payload)
+}
+
+// collRead consumes the next collective frame, checking it carries
+// the expected kind (the replicated control flow guarantees agreement;
+// a mismatch is a protocol bug and fails the job).
+func (t *shm) collRead(r *shmRing, want byte) ([]float64, bool) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	var hdr [5]byte
+	if !t.readFull(r, hdr[:]) {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if hdr[4] != want || n < 1 || (n-1)%8 != 0 {
+		t.Fail(fmt.Errorf("transport: shm collective protocol error (kind %d, want %d)", hdr[4], want))
+		return nil, false
+	}
+	out := make([]float64, (n-1)/8)
+	if len(out) == 0 {
+		return out, true
+	}
+	if !t.readFull(r, floatBytes(out)) {
+		return nil, false
+	}
+	return out, true
+}
+
+func (t *shm) Bcast(from int, vals []float64) []float64 {
+	if t.procs == 1 {
+		return vals
+	}
+	if from == t.self {
+		payload := floatBytes(vals)
+		for p := 0; p < t.procs; p++ {
+			if p == t.self {
+				continue
+			}
+			if !t.collWrite(t.collRing(t.self, p), shmColBcast, payload) {
+				return nil
+			}
+		}
+		return vals
+	}
+	out, ok := t.collRead(t.collRing(from, t.self), shmColBcast)
+	if !ok {
+		return nil
+	}
+	return out
+}
+
+// Barrier gathers an arrive frame from every worker on the leader's
+// rings, then the leader releases them — two hops on memory.
+func (t *shm) Barrier() error {
+	if t.procs == 1 {
+		return t.fb.get()
+	}
+	if t.self == 0 {
+		for p := 1; p < t.procs; p++ {
+			if _, ok := t.collRead(t.collRing(p, 0), shmColArrive); !ok {
+				return t.barrierErr()
+			}
+		}
+		for p := 1; p < t.procs; p++ {
+			if !t.collWrite(t.collRing(0, p), shmColRelease, nil) {
+				return t.barrierErr()
+			}
+		}
+	} else {
+		if !t.collWrite(t.collRing(t.self, 0), shmColArrive, nil) {
+			return t.barrierErr()
+		}
+		if _, ok := t.collRead(t.collRing(0, t.self), shmColRelease); !ok {
+			return t.barrierErr()
+		}
+	}
+	return t.fb.get()
+}
+
+func (t *shm) barrierErr() error {
+	if err := t.fb.get(); err != nil {
+		return err
+	}
+	return errors.New("transport: shm barrier aborted")
+}
+
+func (t *shm) Fail(err error) {
+	if t.fb.fail(err) && t.failed != nil {
+		atomic.StoreUint64(t.failed, 1)
+	}
+	t.pumpMu.Lock()
+	t.pumpCond.Broadcast()
+	t.pumpMu.Unlock()
+}
+
+func (t *shm) Err() error { return t.fb.get() }
+
+func (t *shm) markDirty(r *shmRing) {
+	if !r.queued.CompareAndSwap(false, true) {
+		return
+	}
+	t.pumpMu.Lock()
+	t.dirty = append(t.dirty, r)
+	t.pumpCond.Signal()
+	t.pumpMu.Unlock()
+}
+
+// drain moves spilled bytes into the ring as space allows. Reports
+// whether any progress was made and whether bytes remain.
+func (r *shmRing) drain() (progressed, remaining bool) {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	if len(r.pending) == 0 {
+		return false, false
+	}
+	head := atomic.LoadUint64(r.head)
+	tail := atomic.LoadUint64(r.tail)
+	free := r.capacity() - (head - tail)
+	if free == 0 {
+		return false, true
+	}
+	n := uint64(len(r.pending))
+	if n > free {
+		n = free
+	}
+	r.push(r.pending[:n])
+	if int(n) == len(r.pending) {
+		r.pending = nil
+		return true, false
+	}
+	r.pending = r.pending[n:]
+	return true, true
+}
+
+// pump is the per-process drainer of spilled sends: it retries dirty
+// rings until their pending bytes fit, sleeping in escalating steps
+// when no ring makes progress (receivers are busy computing).
+func (t *shm) pump() {
+	defer close(t.pumpDone)
+	backoff := 0
+	for {
+		t.pumpMu.Lock()
+		for len(t.dirty) == 0 && !t.pumpStop {
+			t.pumpCond.Wait()
+		}
+		if t.pumpStop {
+			t.pumpMu.Unlock()
+			return
+		}
+		work := t.dirty
+		t.dirty = nil
+		t.pumpMu.Unlock()
+		for _, r := range work {
+			r.queued.Store(false)
+		}
+		if t.failedNow() {
+			// Failed transport: pending messages are dropped, like Send.
+			for _, r := range work {
+				r.pmu.Lock()
+				r.pending = nil
+				r.pmu.Unlock()
+			}
+			continue
+		}
+		progressed := false
+		for _, r := range work {
+			p, rem := r.drain()
+			progressed = progressed || p
+			if rem {
+				t.markDirty(r)
+			}
+		}
+		if !progressed {
+			backoff++
+			d := time.Duration(backoff) * time.Microsecond
+			if d > 100*time.Microsecond {
+				d = 100 * time.Microsecond
+			}
+			time.Sleep(d)
+		} else {
+			backoff = 0
+		}
+	}
+}
+
+// Close stops the pump, unmaps and (on the leader) unlinks. Callers
+// close with the engine idle — same contract as the tcp teardown —
+// so no goroutine still touches the mapping when it goes away.
+func (t *shm) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	t.pumpMu.Lock()
+	t.pumpStop = true
+	t.pumpCond.Broadcast()
+	t.pumpMu.Unlock()
+	<-t.pumpDone
+	if t.mem != nil {
+		munmapFile(t.mem)
+		t.mem = nil
+	}
+	if t.unlink {
+		os.Remove(t.path)
+	}
+	return nil
+}

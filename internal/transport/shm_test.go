@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShmLoopStreams(t *testing.T) {
+	tr, err := NewShmLoop(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	exerciseStreams(t, tr)
+}
+
+// TestShmLargeMessage pushes frames far bigger than one ring through
+// the wire: they must stream through in chunks, in order, without a
+// size limit.
+func TestShmLargeMessage(t *testing.T) {
+	tr, err := NewShmLoop(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const big = 3*shmDataCap/8 + 17 // ~3 ring capacities of float64s
+	msg := make([]float64, big)
+	for i := range msg {
+		msg[i] = float64(i % 1009)
+	}
+	go func() {
+		tr.Send(1, 2, msg)
+		tr.Send(1, 2, []float64{42}) // FIFO after the giant frame
+	}()
+	got := tr.Recv(1, 2)
+	if len(got) != big {
+		t.Fatalf("large recv: got %d floats, want %d", len(got), big)
+	}
+	for i := range got {
+		if got[i] != float64(i%1009) {
+			t.Fatalf("large recv: corrupt at %d: got %g", i, got[i])
+		}
+	}
+	if tail := tr.Recv(1, 2); len(tail) != 1 || tail[0] != 42 {
+		t.Fatalf("trailing message after large frame: got %v", tail)
+	}
+}
+
+// TestShmBidirectionalFlood has two ranks each send a burst of
+// ring-overflowing traffic to the other before either receives: the
+// spill queue plus pump must keep both Sends non-blocking, or this
+// deadlocks (and times out).
+func TestShmBidirectionalFlood(t *testing.T) {
+	tr, err := NewShmLoop(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const msgs, sz = 40, shmDataCap / 8 / 2 // each burst is ~20 ring fills
+	done := make(chan error, 2)
+	for r := 1; r <= 2; r++ {
+		go func(self int) {
+			peer := 3 - self
+			for k := 0; k < msgs; k++ {
+				msg := make([]float64, sz)
+				msg[0] = float64(self*1000 + k)
+				tr.Send(self, peer, msg)
+			}
+			for k := 0; k < msgs; k++ {
+				got := tr.Recv(peer, self)
+				if len(got) != sz || got[0] != float64(peer*1000+k) {
+					done <- fmt.Errorf("rank %d msg %d: got len %d head %v", self, k, len(got), got[:1])
+					return
+				}
+			}
+			done <- nil
+		}(r)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("bidirectional flood deadlocked")
+		}
+	}
+}
+
+func TestShmEmptyMessage(t *testing.T) {
+	tr, err := NewShmLoop(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	go tr.Send(1, 2, []float64{})
+	got := tr.Recv(1, 2)
+	if got == nil || len(got) != 0 {
+		t.Fatalf("empty message: got %v (nil=%v), want empty non-nil", got, got == nil)
+	}
+}
+
+// TestShmMesh runs a full 3-process shm job inside one test binary —
+// the shm analogue of TestTCPMesh: three transports rendezvous on one
+// mapped file, exchange cross- and same-process rank traffic,
+// broadcast and barrier.
+func TestShmMesh(t *testing.T) {
+	const np, procs = 6, 3
+	dir := t.TempDir()
+	trs := make([]Transport, procs)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := NewShm(ShmConfig{Job: "mesh-test", NP: np, Procs: procs, Self: i, Generation: 7, Dir: dir, Timeout: 10 * time.Second})
+			trs[i] = tr
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d bootstrap: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	perr := make(chan error, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := trs[i]
+			lo, hi := RanksOf(np, procs, i)
+			for s := lo; s <= hi; s++ {
+				for d := 1; d <= np; d++ {
+					tr.Send(s, d, []float64{float64(1000*s + d)})
+				}
+			}
+			for d := lo; d <= hi; d++ {
+				for s := 1; s <= np; s++ {
+					msg := tr.Recv(s, d)
+					if len(msg) != 1 || msg[0] != float64(1000*s+d) {
+						perr <- fmt.Errorf("process %d pair (%d,%d): got %v", i, s, d, msg)
+						return
+					}
+				}
+			}
+			for from := 0; from < procs; from++ {
+				var vals []float64
+				if from == i {
+					vals = []float64{float64(from), 42}
+				}
+				got := tr.Bcast(from, vals)
+				if len(got) != 2 || got[0] != float64(from) || got[1] != 42 {
+					perr <- fmt.Errorf("process %d bcast from %d: got %v", i, from, got)
+					return
+				}
+			}
+			if err := tr.Barrier(); err != nil {
+				perr <- fmt.Errorf("process %d barrier: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(perr)
+	for err := range perr {
+		t.Error(err)
+	}
+}
+
+// TestShmCrossProcessFail checks failure propagation through the
+// shared header flag: Fail on one member unblocks a Recv waiting on
+// another member, and the error is sticky on both.
+func TestShmCrossProcessFail(t *testing.T) {
+	const np, procs = 2, 2
+	dir := t.TempDir()
+	trs := make([]Transport, procs)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trs[i], errs[i] = NewShm(ShmConfig{Job: "fail-test", NP: np, Procs: procs, Self: i, Generation: 1, Dir: dir, Timeout: 10 * time.Second})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d bootstrap: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	done := make(chan []float64, 1)
+	go func() { done <- trs[1].Recv(1, 2) }() // rank 2 lives on process 1; rank 1 never sends
+	time.Sleep(20 * time.Millisecond)
+	trs[0].Fail(fmt.Errorf("boom"))
+	select {
+	case msg := <-done:
+		if msg != nil {
+			t.Fatalf("aborted cross-process Recv returned %v, want nil", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv on process 1 still blocked after Fail on process 0")
+	}
+	if trs[1].Err() == nil {
+		t.Fatal("process 1 Err() nil after peer failure")
+	}
+}
+
+// TestShmShapeMismatchRejected: a worker whose np disagrees with the
+// mapped header must refuse to join.
+func TestShmShapeMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	var leaderTr, staleTr Transport
+	var leaderErr, staleErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		leaderTr, leaderErr = NewShm(ShmConfig{Job: "shape-test", NP: 4, Procs: 2, Self: 0, Generation: 3, Dir: dir, Timeout: 2 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		staleTr, staleErr = NewShm(ShmConfig{Job: "shape-test", NP: 6, Procs: 2, Self: 1, Generation: 3, Dir: dir, Timeout: 2 * time.Second})
+	}()
+	wg.Wait()
+	if leaderTr != nil {
+		leaderTr.Close()
+	}
+	if staleTr != nil {
+		staleTr.Close()
+	}
+	if leaderErr == nil {
+		t.Error("leader bootstrapped a job whose only member was mis-shaped")
+	}
+	if staleErr == nil {
+		t.Error("mis-shaped worker joined successfully")
+	}
+}

@@ -1,13 +1,15 @@
 // Package transport is the wire abstraction under the spmd engine:
 // per-pair ordered message streams between the abstract processors
 // (ranks 1..NP), plus the small set of process-level collectives the
-// engine's replicated control flow needs (broadcast, barrier). Two
+// engine's replicated control flow needs (broadcast, barrier). Three
 // implementations exist: inproc (capacity-1 buffered channels, the
-// zero-copy default, all ranks in one address space) and tcp
-// (length-prefixed frames over localhost sockets with a handshake
-// carrying worker rank and job generation), which lets the identical
-// compiled schedules, remaps, reductions and inspector plans execute
-// across real OS processes (see cmd/hpfnode).
+// zero-copy default, all ranks in one address space), shm (lock-free
+// SPSC ring buffers over one mmap'd file — the fast multi-process
+// wire, no syscall on the fast path) and tcp (length-prefixed frames
+// over localhost sockets with a handshake carrying worker rank and
+// job generation). The latter two let the identical compiled
+// schedules, remaps, reductions and inspector plans execute across
+// real OS processes (see cmd/hpfnode).
 //
 // Contract: messages between one ordered rank pair (src,dst) are
 // delivered FIFO; streams of distinct pairs are independent. Send
@@ -30,16 +32,17 @@ import (
 // Kinds of transport.
 const (
 	Inproc = "inproc"
+	Shm    = "shm"
 	TCP    = "tcp"
 )
 
 // Kinds lists the available transport kinds.
-func Kinds() []string { return []string{Inproc, TCP} }
+func Kinds() []string { return []string{Inproc, Shm, TCP} }
 
 // Transport carries the spmd engine's communication: per-pair ordered
 // rank-to-rank message streams plus process-level collectives.
 type Transport interface {
-	// Kind reports the transport kind ("inproc" or "tcp").
+	// Kind reports the transport kind ("inproc", "shm" or "tcp").
 	Kind() string
 	// NP reports the abstract processor (rank) count.
 	NP() int
@@ -240,12 +243,15 @@ func (m *mailbox) abort() {
 }
 
 // New creates a single-process transport of the given kind over np
-// ranks: the inproc channels, or the tcp loopback (every message
-// through a real localhost socket, exercising framing and demux).
+// ranks: the inproc channels, the shm rings over a real shared
+// mapping, or the tcp loopback (every message through a real
+// localhost socket, exercising framing and demux).
 func New(kind string, np int) (Transport, error) {
 	switch kind {
 	case Inproc:
 		return NewInproc(np), nil
+	case Shm:
+		return NewShmLoop(np)
 	case TCP:
 		return NewTCPLoop(np)
 	default:
