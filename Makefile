@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm node-smoke node-smoke-shm bench bench-snapshot bench-gate speedup amortization fuzz fuzz-engine fuzz-irregular docs
+.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm race-recovery node-smoke node-smoke-shm node-recovery node-recovery-shm bench bench-snapshot bench-gate speedup amortization fuzz fuzz-engine fuzz-irregular docs
 
 check: fmt vet build test docs
 
@@ -53,6 +53,27 @@ node-smoke:
 # shared-memory rings instead of sockets).
 node-smoke-shm:
 	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -transport shm -workload all -n 64 -iters 5
+
+# The fault-tolerance suites — chaos wire, checkpoint store, elastic
+# driver (single-process and in-binary multi-member recovery), and the
+# transport failure paths — under the race detector.
+race-recovery:
+	$(GO) test -race -count=1 ./internal/transport ./internal/ckpt ./internal/elastic
+
+# Node-recovery smoke: a real 4-process job in which the supervisor
+# SIGKILLs process 2 right after the first checkpoint publishes; the
+# survivors detect the loss, everyone rejoins at a bumped generation,
+# restores the checkpoint and replays, and the leader verifies values
+# and machine.Report identical to the in-process engine.
+node-recovery:
+	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -workload heat -n 48 -iters 12 \
+		-checkpoint-every 3 -retries 4 -heartbeat 25ms -kill-proc 2
+
+# The same SIGKILL-mid-job recovery over the shm wire (loss detected
+# via frozen liveness stamps instead of dead sockets).
+node-recovery-shm:
+	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -transport shm -workload heat -n 48 -iters 12 \
+		-checkpoint-every 3 -retries 4 -heartbeat 25ms -kill-proc 2
 
 # Every internal package must carry a package-level godoc comment
 # (go doc prints "Package <name> ..." on its third line iff one

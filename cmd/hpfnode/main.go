@@ -18,11 +18,29 @@
 //	hpfnode -job demo -addr 127.0.0.1:9137 -procs 2 -self 0 -np 8 -workload jacobi
 //	hpfnode -job demo -addr 127.0.0.1:9137 -procs 2 -self 1 -np 8 -workload jacobi
 //
+// Every member runs under the elastic recovery driver (package
+// elastic): with -checkpoint-every set the job checkpoints its
+// distributed arrays at epoch boundaries, and a detected member loss
+// (crashed process, frozen host, severed wire) rolls the job back to
+// the last checkpoint at a bumped generation instead of killing it.
+// The fault path can be exercised for real —
+//
+//	# SIGKILL worker 2 right after the first checkpoint; the
+//	# supervisor respawns it, the job recovers and still verifies
+//	hpfnode -spawn -procs 4 -np 8 -workload heat -checkpoint-every 2 \
+//	        -retries 4 -kill-proc 2 -heartbeat 25ms
+//
+// — or deterministically in-process with the chaos wire
+// (-chaos-die-proc/-chaos-die-epoch), which tears the victim's
+// transport down with no goodbye at a scripted epoch so every other
+// member discovers the death through its failure detector.
+//
 // Process 0 (the leader) binds the rendezvous address, re-runs every
 // workload on a single-process in-process engine, and exits non-zero
 // unless the distributed run produced identical values and an
 // identical machine.Report — the acceptance check that the transport
-// changes where the program runs, not what it computes.
+// (and any recovery along the way) changes where the program runs,
+// not what it computes.
 package main
 
 import (
@@ -31,9 +49,13 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
+	"hpfnt/internal/ckpt"
+	"hpfnt/internal/elastic"
 	"hpfnt/internal/engine"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/transport"
@@ -47,13 +69,25 @@ var (
 	procs    = flag.Int("procs", 2, "number of OS processes in the job")
 	self     = flag.Int("self", 0, "this process's index (0 = leader)")
 	np       = flag.Int("np", 8, "abstract processor (worker rank) count, partitioned over the processes")
-	wl       = flag.String("workload", "all", "workload to run: jacobi, cg, edgesweep or all")
+	wl       = flag.String("workload", "all", "workload to run: jacobi, heat, cg, edgesweep or all")
 	size     = flag.Int("n", 64, "problem size")
-	iters    = flag.Int("iters", 5, "schedule replay iterations")
-	gen      = flag.Int("gen", 1, "job generation; stale-generation workers are refused at the handshake")
+	iters    = flag.Int("iters", 5, "schedule replay iterations (epochs)")
+	gen      = flag.Int("gen", 1, "starting job generation; recovery bumps it, stale-generation workers are refused at the handshake")
 	spawn    = flag.Bool("spawn", false, "leader convenience: spawn the other -procs processes of this job on localhost")
 	noverify = flag.Bool("noverify", false, "leader: skip the single-process verification run")
-	timeout  = flag.Duration("timeout", 30*time.Second, "bootstrap timeout")
+	timeout  = flag.Duration("timeout", 30*time.Second, "bootstrap timeout, child-reap bound and per-epoch-chunk watchdog")
+
+	ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint the job's arrays every N epochs (0 = no checkpointing; a member loss then replays from epoch 0)")
+	ckptDir   = flag.String("checkpoint-dir", "", "job spill directory for checkpoints and the generation file (default: under the system temp dir, derived from -job)")
+	retries   = flag.Int("retries", 0, "recovery attempts (generation bumps) before a member loss is fatal")
+	hbEvery   = flag.Duration("heartbeat", 0, "failure-detector heartbeat/liveness-stamp interval (0 = transport default, 250ms)")
+	failAfter = flag.Duration("fail-after", 0, "silence after which a member is declared lost (0 = transport default, 8x heartbeat)")
+
+	killProc  = flag.Int("kill-proc", -1, "supervisor (-spawn): SIGKILL this worker process mid-job and respawn a replacement")
+	killAfter = flag.Duration("kill-after", 0, "supervisor: kill -kill-proc after this delay (0 = right after the first checkpoint is published)")
+
+	chaosDieProc  = flag.Int("chaos-die-proc", -1, "chaos: this process abruptly kills its transport (no goodbye) at -chaos-die-epoch of the starting generation, then rejoins")
+	chaosDieEpoch = flag.Int("chaos-die-epoch", 0, "chaos: epoch at which -chaos-die-proc dies (0 = no chaos)")
 )
 
 func main() { os.Exit(run()) }
@@ -66,8 +100,14 @@ func run() int {
 	} else {
 		names = []string{*wl}
 	}
+	spill := resolveSpill()
+	if err := validateRecoveryFlags(names, spill); err != nil {
+		fmt.Fprintf(os.Stderr, "hpfnode: %v\n", err)
+		return 1
+	}
 	rendezvous := *addr
-	var children []*exec.Cmd
+	sup := newSupervisor()
+	jobDone := make(chan struct{})
 	if *spawn {
 		if *self != 0 {
 			fmt.Fprintln(os.Stderr, "hpfnode: -spawn is only valid on the leader (-self 0)")
@@ -83,21 +123,96 @@ func run() int {
 				return 1
 			}
 		}
-		var err error
-		children, err = spawnPeers(rendezvous)
-		if err != nil {
+		if spill != "" {
+			cleanSpill(spill, names)
+		}
+		if err := sup.spawnPeers(rendezvous, spill); err != nil {
 			fmt.Fprintf(os.Stderr, "hpfnode: %v\n", err)
 			return 1
 		}
-	}
-	code := runMember(rendezvous, names)
-	for i, c := range children {
-		if err := c.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "hpfnode: worker process %d: %v\n", i+1, err)
-			code = 1
+		if *killProc > 0 {
+			go sup.killAndRespawn(rendezvous, spill, *killProc, spillFor(spill, names[0]), jobDone)
 		}
+	} else if *self == 0 && spill != "" {
+		cleanSpill(spill, names)
+	}
+	code := runMember(rendezvous, spill, names)
+	close(jobDone)
+	if code != 0 {
+		// Don't leave orphaned workers grinding (or hanging) after the
+		// leader has already failed the job.
+		sup.killAll()
+	}
+	if c := sup.waitAll(*timeout); c != 0 && code == 0 {
+		code = c
 	}
 	return code
+}
+
+// resolveSpill resolves the job's spill directory: the explicit flag,
+// or a temp-dir default when checkpointing or kill/chaos recovery is
+// requested, or "" when the run needs no spill state at all.
+func resolveSpill() string {
+	if *ckptDir != "" {
+		return *ckptDir
+	}
+	if *ckptEvery > 0 || *killProc > 0 || *chaosDieEpoch > 0 {
+		return filepath.Join(os.TempDir(), "hpfnt-"+*job+"-spill")
+	}
+	return ""
+}
+
+// spillFor is the per-workload spill subdirectory ("" stays "").
+func spillFor(spill, name string) string {
+	if spill == "" {
+		return ""
+	}
+	return filepath.Join(spill, name)
+}
+
+// cleanSpill removes stale per-workload spill state (checkpoints and
+// generation files) from a previous run of the same job name. Leader
+// only, before any member joins.
+func cleanSpill(spill string, names []string) {
+	for _, name := range names {
+		os.RemoveAll(spillFor(spill, name))
+	}
+}
+
+func validateRecoveryFlags(names []string, spill string) error {
+	if *killProc >= 0 {
+		if !*spawn {
+			return fmt.Errorf("-kill-proc needs -spawn (the supervisor does the killing)")
+		}
+		if *killProc < 1 || *killProc >= *procs {
+			return fmt.Errorf("-kill-proc %d is not a worker index in 1..%d (leader loss is not recoverable)", *killProc, *procs-1)
+		}
+		if len(names) != 1 {
+			return fmt.Errorf("-kill-proc needs a single -workload (the respawned replacement must rejoin the same job)")
+		}
+		if *retries < 1 {
+			return fmt.Errorf("-kill-proc needs -retries >= 1 to recover from the loss")
+		}
+		if *killAfter <= 0 && *ckptEvery <= 0 {
+			return fmt.Errorf("-kill-proc with -kill-after 0 waits for a checkpoint: set -checkpoint-every (or an explicit -kill-after)")
+		}
+		_ = spill // always non-empty here via resolveSpill
+	}
+	if *chaosDieEpoch > 0 || *chaosDieProc >= 0 {
+		if *chaosDieEpoch <= 0 || *chaosDieProc < 0 {
+			return fmt.Errorf("-chaos-die-proc and -chaos-die-epoch must be set together")
+		}
+		if *chaosDieProc < 1 || *chaosDieProc >= *procs {
+			return fmt.Errorf("-chaos-die-proc %d is not a worker index in 1..%d (leader loss is not recoverable)", *chaosDieProc, *procs-1)
+		}
+		if len(names) != 1 {
+			return fmt.Errorf("-chaos-die-proc needs a single -workload")
+		}
+		if *retries < 1 {
+			return fmt.Errorf("-chaos-die-proc needs -retries >= 1 to recover from the scripted death")
+		}
+	}
+	return nil
 }
 
 // resolveAddr replaces a ":0" rendezvous port with a concrete free
@@ -112,78 +227,210 @@ func resolveAddr(a string) (string, error) {
 	return resolved, nil
 }
 
-// spawnPeers launches processes 1..procs-1 of this job as children of
-// the leader, re-executing this binary.
-func spawnPeers(rendezvous string) ([]*exec.Cmd, error) {
+// supervisor tracks the leader's spawned worker processes by index,
+// so the fault injector can kill and replace one while the job runs.
+type supervisor struct {
+	mu       sync.Mutex
+	children map[int]*exec.Cmd
+}
+
+func newSupervisor() *supervisor { return &supervisor{children: map[int]*exec.Cmd{}} }
+
+// childCmd builds the command for worker process idx of this job,
+// re-executing this binary with the leader's settings.
+func childCmd(rendezvous, spill string, idx int) (*exec.Cmd, error) {
 	bin, err := os.Executable()
 	if err != nil {
 		return nil, err
 	}
-	var children []*exec.Cmd
-	for i := 1; i < *procs; i++ {
-		c := exec.Command(bin,
-			"-job", *job, "-transport", *wire, "-addr", rendezvous,
-			"-procs", strconv.Itoa(*procs), "-self", strconv.Itoa(i),
-			"-np", strconv.Itoa(*np), "-workload", *wl,
-			"-n", strconv.Itoa(*size), "-iters", strconv.Itoa(*iters),
-			"-gen", strconv.Itoa(*gen), "-timeout", timeout.String())
-		c.Stdout = os.Stdout
-		c.Stderr = os.Stderr
-		if err := c.Start(); err != nil {
-			for _, prev := range children {
-				prev.Process.Kill()
-				prev.Wait()
-			}
-			return nil, fmt.Errorf("spawning worker process %d: %w", i, err)
-		}
-		children = append(children, c)
+	args := []string{
+		"-job", *job, "-transport", *wire, "-addr", rendezvous,
+		"-procs", strconv.Itoa(*procs), "-self", strconv.Itoa(idx),
+		"-np", strconv.Itoa(*np), "-workload", *wl,
+		"-n", strconv.Itoa(*size), "-iters", strconv.Itoa(*iters),
+		"-gen", strconv.Itoa(*gen), "-timeout", timeout.String(),
+		"-retries", strconv.Itoa(*retries),
+		"-checkpoint-every", strconv.Itoa(*ckptEvery),
+		"-heartbeat", hbEvery.String(), "-fail-after", failAfter.String(),
 	}
-	return children, nil
+	if spill != "" {
+		args = append(args, "-checkpoint-dir", spill)
+	}
+	if *chaosDieEpoch > 0 {
+		args = append(args,
+			"-chaos-die-proc", strconv.Itoa(*chaosDieProc),
+			"-chaos-die-epoch", strconv.Itoa(*chaosDieEpoch))
+	}
+	c := exec.Command(bin, args...)
+	c.Stdout = os.Stdout
+	c.Stderr = os.Stderr
+	return c, nil
 }
 
-// runMember is one process's life in the job: join the mesh, run the
-// workloads in lockstep with the other members, and (on the leader)
-// verify against the in-process engine.
-func runMember(rendezvous string, names []string) int {
-	var tr transport.Transport
-	var err error
+// spawnPeers launches processes 1..procs-1 of this job as children of
+// the leader.
+func (s *supervisor) spawnPeers(rendezvous, spill string) error {
+	for i := 1; i < *procs; i++ {
+		c, err := childCmd(rendezvous, spill, i)
+		if err == nil {
+			err = c.Start()
+		}
+		if err != nil {
+			s.killAll()
+			s.waitAll(*timeout)
+			return fmt.Errorf("spawning worker process %d: %w", i, err)
+		}
+		s.mu.Lock()
+		s.children[i] = c
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// killAndRespawn is the supervisor-level fault injector: once the
+// trigger fires (-kill-after elapsed, or the first checkpoint of the
+// workload is published), it SIGKILLs worker proc — no shutdown
+// handshake, the real thing — and starts a replacement process, which
+// learns the current generation from the leader's published file and
+// rejoins the recovering job.
+func (s *supervisor) killAndRespawn(rendezvous, spill string, proc int, wdir string, done <-chan struct{}) {
+	if *killAfter > 0 {
+		select {
+		case <-time.After(*killAfter):
+		case <-done:
+			return
+		}
+	} else {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		deadline := time.After(*timeout)
+	wait:
+		for {
+			select {
+			case <-done:
+				return
+			case <-deadline:
+				fmt.Fprintln(os.Stderr, "hpfnode: kill trigger: no checkpoint published before timeout")
+				return
+			case <-tick.C:
+				if _, _, err := ckpt.Latest(wdir); err == nil {
+					break wait
+				}
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-done: // job finished while we raced for the lock
+		return
+	default:
+	}
+	c := s.children[proc]
+	if c == nil {
+		return
+	}
+	c.Process.Kill()
+	c.Wait()
+	fmt.Printf("hpfnode: supervisor sent SIGKILL to worker process %d; respawning a replacement\n", proc)
+	nc, err := childCmd(rendezvous, spill, proc)
+	if err == nil {
+		err = nc.Start()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpfnode: respawning worker process %d: %v\n", proc, err)
+		delete(s.children, proc)
+		return
+	}
+	s.children[proc] = nc
+}
+
+// killAll forcibly terminates every remaining child.
+func (s *supervisor) killAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.Process != nil {
+			c.Process.Kill()
+		}
+	}
+}
+
+// waitAll reaps every child, bounding each wait by the timeout so a
+// wedged worker cannot hang the supervisor: a child that does not
+// exit in time is killed and counted as a failure.
+func (s *supervisor) waitAll(bound time.Duration) int {
+	s.mu.Lock()
+	kids := make(map[int]*exec.Cmd, len(s.children))
+	for i, c := range s.children {
+		kids[i] = c
+	}
+	s.children = map[int]*exec.Cmd{}
+	s.mu.Unlock()
+	code := 0
+	for i, c := range kids {
+		done := make(chan error, 1)
+		go func(c *exec.Cmd) { done <- c.Wait() }(c)
+		select {
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hpfnode: worker process %d: %v\n", i, err)
+				code = 1
+			}
+		case <-time.After(bound):
+			fmt.Fprintf(os.Stderr, "hpfnode: worker process %d did not exit within %v; killing it\n", i, bound)
+			c.Process.Kill()
+			<-done
+			code = 1
+		}
+	}
+	return code
+}
+
+// dialWire joins the job's wire at the given generation.
+func dialWire(rendezvous string, g int) (transport.Transport, error) {
 	switch *wire {
 	case transport.TCP:
-		tr, err = transport.NewTCP(transport.TCPConfig{
+		return transport.NewTCP(transport.TCPConfig{
 			Job: *job, NP: *np, Procs: *procs, Self: *self,
-			Generation: *gen, Addr: rendezvous, Timeout: *timeout,
+			Generation: g, Addr: rendezvous, Timeout: *timeout,
+			Heartbeat: *hbEvery, FailAfter: *failAfter,
 		})
 	case transport.Shm:
-		tr, err = transport.NewShm(transport.ShmConfig{
+		return transport.NewShm(transport.ShmConfig{
 			Job: *job, NP: *np, Procs: *procs, Self: *self,
-			Generation: *gen, Timeout: *timeout,
+			Generation: g, Timeout: *timeout,
+			Heartbeat: *hbEvery, FailAfter: *failAfter,
 		})
 	default:
-		err = fmt.Errorf("unknown -transport %q (tcp or shm)", *wire)
+		return nil, fmt.Errorf("unknown -transport %q (tcp or shm)", *wire)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpfnode[%d]: joining job %q: %v\n", *self, *job, err)
-		return 1
-	}
+}
+
+// runMember is one process's life in the job: run each workload under
+// the elastic recovery driver in lockstep with the other members, and
+// (on the leader) verify against the in-process engine.
+func runMember(rendezvous, spill string, names []string) int {
 	lo, hi := transport.RanksOf(*np, *procs, *self)
-	fmt.Printf("hpfnode[%d]: joined job %q gen %d over %s: %d procs, ranks %d..%d of %d\n",
-		*self, *job, *gen, *wire, *procs, lo, hi, *np)
-	eng, err := engine.NewSPMDOn(tr, machine.DefaultCost())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpfnode[%d]: %v\n", *self, err)
-		tr.Close()
-		return 1
-	}
-	defer eng.Close()
+	fmt.Printf("hpfnode[%d]: member of job %q over %s: %d procs, ranks %d..%d of %d, starting generation %d\n",
+		*self, *job, *wire, *procs, lo, hi, *np, *gen)
+	curGen := *gen
 	code := 0
 	for _, name := range names {
-		res, err := workload.RunNode(eng, name, *size, *iters)
+		res, eres, err := runWorkload(rendezvous, name, spillFor(spill, name), curGen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hpfnode[%d]: %s: %v\n", *self, name, err)
 			return 1
 		}
+		// Recovery bumps the generation job-wide; later workloads of
+		// this run continue from the settled one.
+		curGen = eres.Generation
 		if *self != 0 {
 			continue
+		}
+		if eres.Recovered > 0 {
+			fmt.Printf("hpfnode[0]: %-9s survived %d member loss(es): %d attempts, final generation %d, restored epoch %d\n",
+				name, eres.Recovered, eres.Attempts, eres.Generation, eres.RestoredEpoch)
 		}
 		fmt.Printf("hpfnode[0]: %-9s n=%d iters=%d: %s\n", name, *size, *iters, res.Report)
 		if *noverify {
@@ -199,9 +446,59 @@ func runMember(rendezvous string, names []string) int {
 	return code
 }
 
+// runWorkload runs one workload fault-tolerantly and returns its
+// result plus the recovery summary.
+func runWorkload(rendezvous, name, wdir string, startGen int) (workload.NodeResult, elastic.Result, error) {
+	var out workload.NodeResult
+	cfg := elastic.Config{
+		Dial: func(g int) (transport.Transport, error) { return dialWire(rendezvous, g) },
+		Prepare: func(eng engine.Engine) (elastic.Job, error) {
+			job, err := workload.PrepareNode(eng, name, *size)
+			if err != nil {
+				return elastic.Job{}, err
+			}
+			return elastic.Job{
+				Arrays: job.Arrays,
+				Step:   job.Step,
+				Finish: func() error {
+					r, err := job.Finish()
+					if err != nil {
+						return err
+					}
+					out = r
+					return nil
+				},
+			}, nil
+		},
+		Cost:            machine.DefaultCost(),
+		Self:            *self,
+		Iters:           *iters,
+		CheckpointEvery: *ckptEvery,
+		Dir:             wdir,
+		Retries:         *retries,
+		StartGen:        startGen,
+		EpochTimeout:    *timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hpfnode[%d]: %s: %s\n", *self, name, fmt.Sprintf(format, args...))
+		},
+	}
+	if *chaosDieEpoch > 0 {
+		plan := &transport.ChaosPlan{
+			Generation: startGen,
+			DieAtEpoch: *chaosDieEpoch, DieProc: *chaosDieProc,
+		}
+		cfg.Wrap = func(tr transport.Transport, g int) transport.Transport {
+			return transport.NewChaos(tr, plan)
+		}
+	}
+	eres, err := elastic.Run(cfg)
+	return out, eres, err
+}
+
 // verify re-runs the workload on a single-process in-process spmd
 // engine and demands identical values and an identical machine
-// report.
+// report — recovery included: a job that lost and replaced a member
+// mid-run must still land on byte-identical state.
 func verify(name string, got workload.NodeResult) error {
 	ref, err := engine.NewOn(engine.SPMD, engine.InprocTransport, *np, machine.DefaultCost())
 	if err != nil {

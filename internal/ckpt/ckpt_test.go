@@ -1,0 +1,111 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestShardRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	vals := []float64{0, 1.5, -2.25, 3e100, -0}
+	if err := WriteShard(dir, ShardName(0, 3), vals); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(vals))
+	if err := ReadShard(dir, ShardName(0, 3), got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("shard element %d: got %g, want %g", i, got[i], vals[i])
+		}
+	}
+	// Length mismatch is a hard error, not a silent truncation.
+	short := make([]float64, len(vals)-1)
+	if err := ReadShard(dir, ShardName(0, 3), short); err == nil {
+		t.Fatal("short destination accepted")
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	if _, _, err := Latest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest on empty dir = %v, want ErrNoCheckpoint", err)
+	}
+	if _, _, err := Latest(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest on missing dir = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestPublishLatestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for _, epoch := range []int{2, 4} {
+		ed := EpochDir(dir, epoch)
+		if err := os.MkdirAll(ed, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteShard(ed, ShardName(0, 0), []float64{float64(epoch)}); err != nil {
+			t.Fatal(err)
+		}
+		m := Manifest{Epoch: epoch, NP: 4,
+			Arrays:   []ArrayInfo{{Name: "A", Size: 1}},
+			Counters: []float64{1, 2, 3}}
+		if err := Publish(dir, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, ed, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 4 || man.NP != 4 || len(man.Arrays) != 1 || man.Arrays[0].Name != "A" {
+		t.Fatalf("Latest manifest = %+v", man)
+	}
+	buf := make([]float64, 1)
+	if err := ReadShard(ed, ShardName(0, 0), buf); err != nil || buf[0] != 4 {
+		t.Fatalf("latest shard = %v, %v", buf, err)
+	}
+	if err := Prune(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(EpochDir(dir, 2)); !os.IsNotExist(err) {
+		t.Fatal("Prune left the stale epoch directory")
+	}
+	if _, _, err := Latest(dir); err != nil {
+		t.Fatalf("Latest after Prune: %v", err)
+	}
+}
+
+// TestTornCheckpointInvisible checks crash atomicity: an epoch
+// directory written without a Publish must not become the latest
+// checkpoint — the previous complete one stays current.
+func TestTornCheckpointInvisible(t *testing.T) {
+	dir := t.TempDir()
+	ed := EpochDir(dir, 1)
+	if err := os.MkdirAll(ed, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShard(ed, ShardName(0, 0), []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Publish(dir, Manifest{Epoch: 1, NP: 1, Arrays: []ArrayInfo{{Name: "A", Size: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-checkpoint at epoch 2: shards on disk, no
+	// manifest publish, CURRENT untouched.
+	torn := EpochDir(dir, 2)
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShard(torn, ShardName(0, 0), []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 1 {
+		t.Fatalf("torn checkpoint became current: epoch %d", man.Epoch)
+	}
+}

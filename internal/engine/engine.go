@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"hpfnt/internal/ckpt"
 	"hpfnt/internal/core"
 	"hpfnt/internal/index"
 	"hpfnt/internal/inspector"
@@ -157,9 +158,25 @@ type Engine interface {
 	Stats() machine.Report
 	// Reset clears the counters.
 	Reset()
+	// Checkpoint snapshots the arrays' values and the job-wide
+	// aggregated counters into the spill directory dir at the given
+	// epoch (package ckpt format). On a multi-process spmd engine it
+	// is a collective; the checkpoint becomes visible atomically or
+	// not at all.
+	Checkpoint(dir string, epoch int, arrays []Array) error
+	// Restore loads the latest checkpoint in dir back into the
+	// arrays, which must match the checkpointed ones in order, name
+	// and shape (rebuild them by re-running the job's deterministic
+	// prologue). Returns the restored epoch, or ErrNoCheckpoint when
+	// dir holds none.
+	Restore(dir string, arrays []Array) (int, error)
 	// Close releases backend resources (worker goroutines).
 	Close() error
 }
+
+// ErrNoCheckpoint reports that a spill directory holds no published
+// checkpoint (re-exported from package ckpt).
+var ErrNoCheckpoint = ckpt.ErrNoCheckpoint
 
 // Array is a distributed array on some backend. All arrays in one
 // statement must come from the same engine.

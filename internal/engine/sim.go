@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"os"
 
+	"hpfnt/internal/ckpt"
 	"hpfnt/internal/core"
 	"hpfnt/internal/index"
 	"hpfnt/internal/inspector"
@@ -32,6 +34,70 @@ func (e *simEngine) Machine() *machine.Machine { return e.m }
 func (e *simEngine) Stats() machine.Report     { return e.m.Stats() }
 func (e *simEngine) Reset()                    { e.m.Reset() }
 func (e *simEngine) Close() error              { return nil }
+
+// Checkpoint writes each array's dense values as a single rank-0
+// shard plus the counter vector — the same ckpt format the spmd
+// backend uses, with one process and one logical shard per array.
+func (e *simEngine) Checkpoint(dir string, epoch int, arrays []Array) error {
+	ed := ckpt.EpochDir(dir, epoch)
+	if err := os.MkdirAll(ed, 0o755); err != nil {
+		return err
+	}
+	infos := make([]ckpt.ArrayInfo, len(arrays))
+	for i, a := range arrays {
+		sa, ok := a.(*simArray)
+		if !ok || sa.eng != e {
+			return fmt.Errorf("engine: checkpoint array %s is not on this sim engine", a.Name())
+		}
+		infos[i] = ckpt.ArrayInfo{Name: sa.a.Name, Size: sa.a.Dom.Size()}
+		if err := ckpt.WriteShard(ed, ckpt.ShardName(i, 0), sa.a.Data()); err != nil {
+			return err
+		}
+	}
+	if err := ckpt.Publish(dir, ckpt.Manifest{Epoch: epoch, NP: e.np, Arrays: infos, Counters: e.m.EncodeCounters()}); err != nil {
+		return err
+	}
+	_ = ckpt.Prune(dir, epoch)
+	return nil
+}
+
+// Restore loads the latest checkpoint back into the arrays and
+// resets the machine to the snapshotted counter aggregate.
+func (e *simEngine) Restore(dir string, arrays []Array) (int, error) {
+	man, ed, err := ckpt.Latest(dir)
+	if err != nil {
+		return 0, err
+	}
+	if man.NP != e.np {
+		return 0, fmt.Errorf("engine: checkpoint is for np=%d, engine has np=%d", man.NP, e.np)
+	}
+	if len(man.Arrays) != len(arrays) {
+		return 0, fmt.Errorf("engine: checkpoint holds %d arrays, restore got %d", len(man.Arrays), len(arrays))
+	}
+	for i, a := range arrays {
+		sa, ok := a.(*simArray)
+		if !ok || sa.eng != e {
+			return 0, fmt.Errorf("engine: restore array %s is not on this sim engine", a.Name())
+		}
+		dom := sa.a.Dom
+		if inf := man.Arrays[i]; inf.Name != sa.a.Name || inf.Size != dom.Size() {
+			return 0, fmt.Errorf("engine: checkpoint array %d is %s[%d], restore got %s[%d]",
+				i, inf.Name, inf.Size, sa.a.Name, dom.Size())
+		}
+		buf := make([]float64, dom.Size())
+		if err := ckpt.ReadShard(ed, ckpt.ShardName(i, 0), buf); err != nil {
+			return 0, err
+		}
+		for off, v := range buf {
+			sa.a.Set(dom.TupleAt(off), v)
+		}
+	}
+	e.m.Reset()
+	if err := e.m.MergeCounters(man.Counters); err != nil {
+		return 0, fmt.Errorf("engine: restoring checkpoint counters: %w", err)
+	}
+	return man.Epoch, nil
+}
 
 func (e *simEngine) NewArray(name string, m core.ElementMapping) (Array, error) {
 	a, err := runtime.NewArray(name, m)

@@ -33,6 +33,35 @@ func (e *spmdEngine) Stats() machine.Report     { return e.e.Stats() }
 func (e *spmdEngine) Reset()                    { e.e.Reset() }
 func (e *spmdEngine) Close() error              { return e.e.Close() }
 
+// unwrapArrays checks backend membership and unwraps to spmd arrays.
+func (e *spmdEngine) unwrapArrays(arrays []Array) ([]*spmd.Array, error) {
+	out := make([]*spmd.Array, len(arrays))
+	for i, a := range arrays {
+		sa, ok := a.(*spmdArray)
+		if !ok || sa.eng != e {
+			return nil, fmt.Errorf("engine: array %s is not on this spmd engine", a.Name())
+		}
+		out[i] = sa.a
+	}
+	return out, nil
+}
+
+func (e *spmdEngine) Checkpoint(dir string, epoch int, arrays []Array) error {
+	as, err := e.unwrapArrays(arrays)
+	if err != nil {
+		return err
+	}
+	return e.e.Checkpoint(dir, epoch, as)
+}
+
+func (e *spmdEngine) Restore(dir string, arrays []Array) (int, error) {
+	as, err := e.unwrapArrays(arrays)
+	if err != nil {
+		return 0, err
+	}
+	return e.e.Restore(dir, as)
+}
+
 func (e *spmdEngine) NewArray(name string, m core.ElementMapping) (Array, error) {
 	a, err := e.e.NewArray(name, m)
 	if err != nil {

@@ -1,0 +1,175 @@
+package spmd
+
+import (
+	"fmt"
+	"os"
+
+	"hpfnt/internal/ckpt"
+	"hpfnt/internal/machine"
+)
+
+// Checkpoint snapshots the arrays and the job-wide counters into the
+// spill directory dir at the given epoch. On a multi-process
+// transport this is a collective: every process calls it at the same
+// point of the replicated control flow, each writes the shards of the
+// ranks it hosts, and after a barrier the leader publishes the
+// manifest — so a checkpoint either becomes visible complete or not
+// at all. The snapshotted counter vector is the job-wide aggregate,
+// which is what lets a restored-and-replayed job report the same
+// machine.Report an uninterrupted run would.
+//
+// The engine must be idle (between dispatched operations), which the
+// single-client-goroutine contract already guarantees.
+func (e *Engine) Checkpoint(dir string, epoch int, arrays []*Array) error {
+	if err := e.tr.Err(); err != nil {
+		return err
+	}
+	ed := ckpt.EpochDir(dir, epoch)
+	var localErr error
+	if err := os.MkdirAll(ed, 0o755); err != nil {
+		localErr = err
+	}
+	infos := make([]ckpt.ArrayInfo, len(arrays))
+	for i, a := range arrays {
+		if a.eng != e {
+			return fmt.Errorf("spmd: checkpoint array %s is not on this engine", a.name)
+		}
+		infos[i] = ckpt.ArrayInfo{Name: a.name, Size: a.dom.Size()}
+		if localErr != nil {
+			continue
+		}
+		for _, p := range e.local {
+			if err := ckpt.WriteShard(ed, ckpt.ShardName(i, p), a.lay.stores[p].data); err != nil {
+				localErr = err
+				break
+			}
+		}
+	}
+	// Job-wide counter aggregate, same collective as Stats.
+	e.statsMu.Lock()
+	enc := e.mach.EncodeCounters()
+	cost := e.mach.Cost
+	e.statsMu.Unlock()
+	agg := enc
+	if e.tr.Procs() > 1 {
+		am, err := machine.New(e.np, cost)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < e.tr.Procs(); i++ {
+			var mine []float64
+			if i == e.tr.Self() {
+				mine = enc
+			}
+			part := e.tr.Bcast(i, mine)
+			if part == nil {
+				return e.failErr("checkpoint counter exchange")
+			}
+			if err := am.MergeCounters(part); err != nil {
+				return fmt.Errorf("spmd: merging checkpoint counters: %w", err)
+			}
+		}
+		agg = am.EncodeCounters()
+	}
+	// Every process must agree the shards are durable before the
+	// leader publishes; a local write error is vetoed job-wide so no
+	// process trusts a checkpoint that is missing shards.
+	ok := 1.0
+	if localErr != nil {
+		ok = 0
+	}
+	allOK := true
+	for i := 0; i < e.tr.Procs(); i++ {
+		var mine []float64
+		if i == e.tr.Self() {
+			mine = []float64{ok}
+		}
+		v := e.tr.Bcast(i, mine)
+		if v == nil {
+			return e.failErr("checkpoint shard vote")
+		}
+		if len(v) != 1 || v[0] != 1 {
+			allOK = false
+		}
+	}
+	if !allOK {
+		if localErr != nil {
+			return fmt.Errorf("spmd: checkpoint at epoch %d: %w", epoch, localErr)
+		}
+		return fmt.Errorf("spmd: checkpoint at epoch %d failed on a peer process", epoch)
+	}
+	if e.tr.Self() == 0 {
+		if err := ckpt.Publish(dir, ckpt.Manifest{Epoch: epoch, NP: e.np, Arrays: infos, Counters: agg}); err != nil {
+			e.tr.Fail(err) // peers must not proceed trusting a phantom checkpoint
+			return err
+		}
+		// Old epochs are dead weight once CURRENT moved on; pruning
+		// failures are cosmetic.
+		_ = ckpt.Prune(dir, epoch)
+	}
+	if err := e.tr.Barrier(); err != nil { // published before anyone proceeds
+		return err
+	}
+	return e.tr.Err()
+}
+
+// Restore loads the latest published checkpoint in dir back into the
+// arrays, which must be the checkpointed arrays in checkpoint order
+// (same names, domains and count — typically rebuilt by re-running
+// the job's deterministic prologue on a fresh engine). Each process
+// reads the shards of the ranks it now hosts, so the restore remaps
+// the snapshot onto the current membership for free: shards are
+// rank-keyed, not process-keyed. Counters are reset everywhere and
+// the aggregate is folded into the leader's machine, restoring the
+// job-wide Stats sum exactly. Returns the restored epoch.
+//
+// Values are copied into the existing per-rank stores in place, so
+// schedules compiled against the arrays stay valid.
+func (e *Engine) Restore(dir string, arrays []*Array) (int, error) {
+	if err := e.tr.Err(); err != nil {
+		return 0, err
+	}
+	man, ed, err := ckpt.Latest(dir)
+	if err != nil {
+		return 0, err
+	}
+	if man.NP != e.np {
+		return 0, fmt.Errorf("spmd: checkpoint is for np=%d, engine has np=%d", man.NP, e.np)
+	}
+	if len(man.Arrays) != len(arrays) {
+		return 0, fmt.Errorf("spmd: checkpoint holds %d arrays, restore got %d", len(man.Arrays), len(arrays))
+	}
+	for i, a := range arrays {
+		if a.eng != e {
+			return 0, fmt.Errorf("spmd: restore array %s is not on this engine", a.name)
+		}
+		if inf := man.Arrays[i]; inf.Name != a.name || inf.Size != a.dom.Size() {
+			return 0, fmt.Errorf("spmd: checkpoint array %d is %s[%d], restore got %s[%d]",
+				i, inf.Name, inf.Size, a.name, a.dom.Size())
+		}
+		for _, p := range e.local {
+			if err := ckpt.ReadShard(ed, ckpt.ShardName(i, p), a.lay.stores[p].data); err != nil {
+				return 0, err
+			}
+		}
+	}
+	e.statsMu.Lock()
+	e.mach.Reset()
+	if e.tr.Self() == 0 {
+		if err := e.mach.MergeCounters(man.Counters); err != nil {
+			e.statsMu.Unlock()
+			return 0, fmt.Errorf("spmd: restoring checkpoint counters: %w", err)
+		}
+	}
+	e.statsMu.Unlock()
+	return man.Epoch, nil
+}
+
+// failErr returns the sticky transport error, or a description of the
+// aborted collective when the failure has not latched yet.
+func (e *Engine) failErr(what string) error {
+	if err := e.tr.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("spmd: %s aborted", what)
+}

@@ -37,9 +37,13 @@ import (
 // file header; every blocked wait polls it, aborts, and latches the
 // local failBox, so a panic on one process unblocks all of them (the
 // shm analogue of tcp's connection teardown). A process killed hard
-// (SIGKILL) cannot set the flag — unlike tcp there is no reset signal,
-// so surviving processes keep waiting; drive multi-process shm jobs
-// under a supervisor timeout (cmd/hpfnode -timeout).
+// (SIGKILL) cannot set the flag itself, so each process additionally
+// stamps a per-process liveness slot in the header every Heartbeat
+// interval and watches its peers' stamps: a stamp frozen for longer
+// than FailAfter publishes the dead process index in the header's
+// lost slot and raises the shared flag, so every survivor surfaces
+// the same *MemberLostError — a kill means a detected failure the
+// recovery layer can act on, not a hang.
 
 // Shm ring geometry. Capacities are powers of two so positions wrap
 // with a mask; head/tail live on separate cache lines. One 8-rank
@@ -47,7 +51,7 @@ import (
 // are touched.
 const (
 	shmMagic    = 0x48504653484d3136 // "HPFSHM16"
-	shmVersion  = 1
+	shmVersion  = 2
 	shmHdrSize  = 4096
 	shmRingCtrl = 128
 	shmDataCap  = 1 << 16
@@ -56,7 +60,11 @@ const (
 
 // Header field offsets (all 8-byte slots; magic is stored last with
 // release semantics, so a peer that observes it sees a fully
-// initialised header).
+// initialised header). The liveness block at shmOffLive holds one
+// UnixNano stamp per process, refreshed by that process's monitor
+// goroutine; shmOffLost is CAS'd to 1+proc by the first survivor to
+// detect a frozen stamp, before it raises the failed flag, so every
+// process promotes the shared failure to the same *MemberLostError.
 const (
 	shmOffMagic    = 0
 	shmOffVersion  = 8
@@ -66,7 +74,12 @@ const (
 	shmOffJobHash  = 40
 	shmOffFailed   = 48
 	shmOffAttached = 56
+	shmOffLost     = 64
+	shmOffLive     = 128 // + 8·proc, bounded by the header page
 )
+
+// shmMaxProcs bounds Procs so the liveness block fits in the header.
+const shmMaxProcs = (shmHdrSize - shmOffLive) / 8
 
 // Collective frame kinds ([4]len [1]kind [len-1]payload on the
 // process-pair rings; the deterministic replicated control flow means
@@ -134,6 +147,27 @@ type ShmConfig struct {
 	Generation int
 	Dir        string
 	Timeout    time.Duration
+	// Heartbeat is the liveness-stamp refresh interval. Zero means
+	// 250ms.
+	Heartbeat time.Duration
+	// FailAfter is how long a peer's stamp may stay frozen before the
+	// peer is declared lost with a *MemberLostError. Zero means
+	// 8×Heartbeat.
+	FailAfter time.Duration
+}
+
+func (cfg *ShmConfig) heartbeat() time.Duration {
+	if cfg.Heartbeat > 0 {
+		return cfg.Heartbeat
+	}
+	return 250 * time.Millisecond
+}
+
+func (cfg *ShmConfig) failAfter() time.Duration {
+	if cfg.FailAfter > 0 {
+		return cfg.FailAfter
+	}
+	return 8 * cfg.heartbeat()
 }
 
 // shm implements Transport over the mapped rings.
@@ -146,7 +180,15 @@ type shm struct {
 	path   string
 	unlink bool
 	mem    []byte
-	failed *uint64 // shared cross-process failure flag in the header
+	failed *uint64   // shared cross-process failure flag in the header
+	lost   *uint64   // 1+proc of the first detected-dead member
+	live   []*uint64 // per-process liveness stamps (UnixNano)
+
+	heartbeat time.Duration
+	failAfter time.Duration
+	hbStop    chan struct{}
+	hbDone    chan struct{}
+	hbOnce    sync.Once
 
 	data []*shmRing // np*np, ordered (src-1)*np+(dst-1)
 	coll []*shmRing // procs*procs when procs > 1, else nil
@@ -216,6 +258,11 @@ func (t *shm) ringAt(off, cap int) *shmRing {
 // carve builds the process-local ring views over the mapping.
 func (t *shm) carve() {
 	t.failed = t.u64at(shmOffFailed)
+	t.lost = t.u64at(shmOffLost)
+	t.live = make([]*uint64, t.procs)
+	for p := range t.live {
+		t.live[p] = t.u64at(shmOffLive + 8*p)
+	}
 	t.data = make([]*shmRing, t.np*t.np)
 	off := shmHdrSize
 	for i := range t.data {
@@ -278,6 +325,9 @@ func NewShm(cfg ShmConfig) (Transport, error) {
 	if cfg.NP < 1 || cfg.Procs < 1 || cfg.Self < 0 || cfg.Self >= cfg.Procs {
 		return nil, fmt.Errorf("transport: bad shm config np=%d procs=%d self=%d", cfg.NP, cfg.Procs, cfg.Self)
 	}
+	if cfg.Procs > shmMaxProcs {
+		return nil, fmt.Errorf("transport: shm supports at most %d processes, got %d", shmMaxProcs, cfg.Procs)
+	}
 	if lo, hi := RanksOf(cfg.NP, cfg.Procs, cfg.Self); hi < lo {
 		return nil, fmt.Errorf("transport: process %d hosts no ranks (np=%d procs=%d)", cfg.Self, cfg.NP, cfg.Procs)
 	}
@@ -288,6 +338,8 @@ func NewShm(cfg ShmConfig) (Transport, error) {
 		return NewShmLoop(cfg.NP)
 	}
 	t := &shm{np: cfg.NP, procs: cfg.Procs, self: cfg.Self, gen: cfg.Generation, fb: newFailBox()}
+	t.heartbeat = cfg.heartbeat()
+	t.failAfter = cfg.failAfter()
 	t.path = shmPath(cfg)
 	size := shmSize(cfg.NP, cfg.Procs)
 	deadline := time.Now().Add(cfg.Timeout)
@@ -310,6 +362,7 @@ func NewShm(cfg ShmConfig) (Transport, error) {
 			return nil, fmt.Errorf("transport: shm mmap: %w", err)
 		}
 		t.carve()
+		atomic.StoreUint64(t.live[0], uint64(time.Now().UnixNano()))
 		atomic.StoreUint64(t.u64at(shmOffVersion), shmVersion)
 		atomic.StoreUint64(t.u64at(shmOffNP), uint64(cfg.NP))
 		atomic.StoreUint64(t.u64at(shmOffProcs), uint64(cfg.Procs))
@@ -371,14 +424,93 @@ func NewShm(cfg ShmConfig) (Transport, error) {
 			return nil, fmt.Errorf("transport: shm mmap: %w", err)
 		}
 		t.carve()
-		atomic.AddUint64(t.u64at(shmOffAttached), 1)
+		// Claim an attach slot before touching any shared state. A
+		// nonzero liveness stamp in our own slot or an already-full
+		// roster means this generation is already running: we are a
+		// late replacement looking at the PREVIOUS generation's file,
+		// and blindly attaching would corrupt the survivors' rings.
+		// Refuse instead — the caller rejoins at the current
+		// generation once the leader publishes it.
+		if atomic.LoadUint64(t.live[cfg.Self]) != 0 {
+			t.destroy()
+			return nil, fmt.Errorf("transport: shm job %q generation %d already has a process %d (stale generation?)",
+				cfg.Job, cfg.Generation, cfg.Self)
+		}
+		attached := t.u64at(shmOffAttached)
+		for {
+			a := atomic.LoadUint64(attached)
+			if a >= uint64(cfg.Procs-1) {
+				t.destroy()
+				return nil, fmt.Errorf("transport: shm job %q generation %d is already fully attached (stale generation?)",
+					cfg.Job, cfg.Generation)
+			}
+			if atomic.CompareAndSwapUint64(attached, a, a+1) {
+				break
+			}
+		}
+		atomic.StoreUint64(t.live[cfg.Self], uint64(time.Now().UnixNano()))
 	}
 	t.start()
 	if err := t.Barrier(); err != nil { // job starts aligned, like tcp's bootstrap barrier
 		t.Close()
 		return nil, fmt.Errorf("transport: shm bootstrap barrier: %w", err)
 	}
+	t.startMonitor()
 	return t, nil
+}
+
+// startMonitor launches the liveness goroutine: every heartbeat
+// interval it refreshes this process's stamp and checks its peers'.
+// A peer whose stamp stays frozen past failAfter is published in the
+// header's lost slot (first detector wins) before the shared failed
+// flag is raised, so every survivor's failedNow promotes the failure
+// to the same *MemberLostError.
+func (t *shm) startMonitor() {
+	if t.procs == 1 {
+		return
+	}
+	t.hbStop = make(chan struct{})
+	t.hbDone = make(chan struct{})
+	go func() {
+		defer close(t.hbDone)
+		tick := time.NewTicker(t.heartbeat)
+		defer tick.Stop()
+		limit := int64(t.failAfter)
+		for {
+			select {
+			case <-t.hbStop:
+				return
+			case <-t.fb.stop:
+				return
+			case <-tick.C:
+			}
+			now := time.Now().UnixNano()
+			atomic.StoreUint64(t.live[t.self], uint64(now))
+			for p := 0; p < t.procs; p++ {
+				if p == t.self {
+					continue
+				}
+				st := atomic.LoadUint64(t.live[p])
+				if st == 0 || now-int64(st) <= limit {
+					continue
+				}
+				atomic.CompareAndSwapUint64(t.lost, 0, uint64(p+1))
+				atomic.StoreUint64(t.failed, 1)
+				t.Fail(&MemberLostError{Proc: p, Cause: "liveness stamp stale"})
+				return
+			}
+		}
+	}()
+}
+
+// stopMonitor stops the liveness goroutine and waits for it, so the
+// mapping can be unmapped safely.
+func (t *shm) stopMonitor() {
+	if t.hbDone == nil {
+		return
+	}
+	t.hbOnce.Do(func() { close(t.hbStop) })
+	<-t.hbDone
 }
 
 func validateShmHeader(hdr []byte, cfg ShmConfig) error {
@@ -429,6 +561,12 @@ func (t *shm) failedNow() bool {
 	default:
 	}
 	if t.failed != nil && atomic.LoadUint64(t.failed) != 0 {
+		if t.lost != nil {
+			if v := atomic.LoadUint64(t.lost); v != 0 {
+				t.fb.fail(&MemberLostError{Proc: int(v - 1), Cause: "liveness stamp stale"})
+				return true
+			}
+		}
 		t.fb.fail(errors.New("transport: shm job failed on a peer process"))
 		return true
 	}
@@ -666,6 +804,40 @@ func (t *shm) Fail(err error) {
 
 func (t *shm) Err() error { return t.fb.get() }
 
+func (t *shm) Status() Health {
+	h := Health{Procs: t.procs, Self: t.self, Generation: t.gen, Alive: make([]bool, t.procs), Err: t.fb.get()}
+	now := time.Now().UnixNano()
+	for p := range h.Alive {
+		if p == t.self || t.procs == 1 {
+			h.Alive[p] = true
+			continue
+		}
+		if t.closed.Load() || t.live == nil {
+			continue
+		}
+		st := atomic.LoadUint64(t.live[p])
+		h.Alive[p] = st != 0 && now-int64(st) <= int64(t.failAfter)
+	}
+	if p, ok := AsMemberLost(h.Err); ok && p >= 0 && p < len(h.Alive) {
+		h.Alive[p] = false
+	}
+	return h
+}
+
+// killAbrupt emulates a SIGKILL for the chaos wire: the liveness
+// monitor stops (freezing this process's stamp) and the local
+// transport fails sticky with ErrChaosKilled — the shared failed flag
+// is deliberately NOT raised, so peers only learn of the death the
+// way they would for a real kill: by watching the stamp go stale.
+func (t *shm) killAbrupt() {
+	t.stopMonitor()
+	if t.fb.fail(ErrChaosKilled) {
+		t.pumpMu.Lock()
+		t.pumpCond.Broadcast()
+		t.pumpMu.Unlock()
+	}
+}
+
 func (t *shm) markDirty(r *shmRing) {
 	if !r.queued.CompareAndSwap(false, true) {
 		return
@@ -761,6 +933,7 @@ func (t *shm) Close() error {
 	if !t.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	t.stopMonitor()
 	t.pumpMu.Lock()
 	t.pumpStop = true
 	t.pumpCond.Broadcast()

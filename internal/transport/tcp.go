@@ -24,6 +24,7 @@ const (
 	frameBcast   = byte(4) // process collective: from proc, payload floats
 	frameBarrier = byte(5) // peer → leader: barrier arrival
 	frameRelease = byte(6) // leader → peers: barrier release
+	frameHeart   = byte(7) // keepalive; any frame refreshes the peer's liveness stamp
 )
 
 // tcpProto is the handshake protocol version; mismatches are rejected
@@ -57,6 +58,26 @@ type TCPConfig struct {
 	// Timeout bounds the whole bootstrap (dial retries, accepts,
 	// handshakes). Zero means 30s.
 	Timeout time.Duration
+	// Heartbeat is the keepalive interval on every mesh connection.
+	// Zero means 250ms.
+	Heartbeat time.Duration
+	// FailAfter is how long a peer may stay silent before it is
+	// declared lost with a *MemberLostError. Zero means 8×Heartbeat.
+	FailAfter time.Duration
+}
+
+func (cfg *TCPConfig) heartbeat() time.Duration {
+	if cfg.Heartbeat > 0 {
+		return cfg.Heartbeat
+	}
+	return 250 * time.Millisecond
+}
+
+func (cfg *TCPConfig) failAfter() time.Duration {
+	if cfg.FailAfter > 0 {
+		return cfg.FailAfter
+	}
+	return 8 * cfg.heartbeat()
 }
 
 // tconn is one connection with its buffered, mutex-serialized writer.
@@ -66,10 +87,17 @@ type TCPConfig struct {
 type tconn struct {
 	c   net.Conn
 	bw  *bufio.Writer
+	br  *bufio.Reader // single reader, shared by handshake and readLoop
 	wmu sync.Mutex
 }
 
-func newTconn(c net.Conn) *tconn { return &tconn{c: c, bw: bufio.NewWriter(c)} }
+// newTconn wraps a connection. The buffered reader is created once
+// and reused from handshake through readLoop: a fresh reader after
+// the handshake would silently drop any frames the kernel delivered
+// in the same segment as the handshake reply.
+func newTconn(c net.Conn) *tconn {
+	return &tconn{c: c, bw: bufio.NewWriter(c), br: bufio.NewReader(c)}
+}
 
 func (c *tconn) writeFrame(kind byte, body []byte) error {
 	c.wmu.Lock()
@@ -210,6 +238,13 @@ type tcpTransport struct {
 	arrive  chan int      // leader: barrier arrivals
 	release chan struct{} // peers: barrier releases
 
+	// lastHeard[i] is the UnixNano of the last frame (of any kind)
+	// read from process i; refreshed by readLoop, watched by the
+	// heartbeat monitor.
+	lastHeard []atomic.Int64
+	hbStop    chan struct{}
+	hbOnce    sync.Once
+
 	fb     *failBox
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -217,8 +252,9 @@ type tcpTransport struct {
 }
 
 func newTCPState(cfg TCPConfig) *tcpTransport {
-	t := &tcpTransport{cfg: cfg, fb: newFailBox()}
+	t := &tcpTransport{cfg: cfg, fb: newFailBox(), hbStop: make(chan struct{})}
 	t.conns = make([]*tconn, cfg.Procs)
+	t.lastHeard = make([]atomic.Int64, cfg.Procs)
 	t.boxes = make([][]*mailbox, cfg.NP)
 	for s := range t.boxes {
 		t.boxes[s] = make([]*mailbox, cfg.NP)
@@ -298,13 +334,12 @@ func NewTCPLoop(np int) (Transport, error) {
 		t.teardown()
 		return nil, err
 	}
-	br := bufio.NewReader(in)
-	if err := t.expectHello(br, helloJoin, 0); err != nil {
+	if err := t.expectHello(t.loopIn.br, helloJoin, 0); err != nil {
 		t.teardown()
 		return nil, err
 	}
 	t.wg.Add(1)
-	go t.readLoop(t.loopIn, br)
+	go t.readLoop(-1, t.loopIn, t.loopIn.br)
 	return t, nil
 }
 
@@ -338,13 +373,67 @@ func NewTCP(cfg TCPConfig) (Transport, error) {
 			continue
 		}
 		t.wg.Add(1)
-		go t.readLoop(c, bufio.NewReader(c.c))
+		go t.readLoop(i, c, c.br)
 	}
+	t.startHeartbeats()
 	if err := t.Barrier(); err != nil {
 		t.teardown()
 		return nil, fmt.Errorf("transport: job %q initial barrier: %w", cfg.Job, err)
 	}
 	return t, nil
+}
+
+// startHeartbeats launches the keepalive sender + staleness monitor:
+// every Heartbeat interval a heart frame goes out on each mesh
+// connection, and a peer whose liveness stamp is older than FailAfter
+// is declared lost via a sticky *MemberLostError. This is what turns
+// a SIGKILLed member into a detected failure instead of a hang.
+func (t *tcpTransport) startHeartbeats() {
+	if t.cfg.Procs == 1 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for i := range t.lastHeard {
+		t.lastHeard[i].Store(now)
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tick := time.NewTicker(t.cfg.heartbeat())
+		defer tick.Stop()
+		limit := int64(t.cfg.failAfter())
+		for {
+			select {
+			case <-t.hbStop:
+				return
+			case <-t.fb.stop:
+				return
+			case <-tick.C:
+			}
+			for i, c := range t.conns {
+				if i == t.cfg.Self || c == nil {
+					continue
+				}
+				// Write errors are ignored here: the connection's
+				// readLoop attributes the loss to the right peer.
+				c.writeFrame(frameHeart, nil)
+			}
+			now := time.Now().UnixNano()
+			for i := range t.lastHeard {
+				if i == t.cfg.Self {
+					continue
+				}
+				if now-t.lastHeard[i].Load() > limit {
+					t.Fail(&MemberLostError{Proc: i, Cause: "heartbeats stale"})
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (t *tcpTransport) stopHeartbeats() {
+	t.hbOnce.Do(func() { close(t.hbStop) })
 }
 
 // expectHello reads and validates one handshake frame.
@@ -416,8 +505,8 @@ func (t *tcpTransport) bootstrapLeader(deadline time.Time) error {
 			return fmt.Errorf("transport: job %q waiting for %d more worker(s): %w", t.cfg.Job, t.cfg.Procs-joined, err)
 		}
 		c.SetDeadline(deadline)
-		br := bufio.NewReader(c)
-		from, addr, err := t.readHelloFrom(br, helloJoin)
+		tc := newTconn(c)
+		from, addr, err := t.readHelloFrom(tc.br, helloJoin)
 		if err != nil {
 			// Refuse just this connection — a stale-generation worker
 			// left over from a previous run (or a stray dialer) must
@@ -430,7 +519,7 @@ func (t *tcpTransport) bootstrapLeader(deadline time.Time) error {
 			c.Close()
 			return fmt.Errorf("transport: job %q duplicate join from process %d", t.cfg.Job, from)
 		}
-		t.conns[from] = newTconn(c)
+		t.conns[from] = tc
 		addrs[from] = addr
 		joined++
 	}
@@ -467,54 +556,23 @@ func (t *tcpTransport) bootstrapPeer(deadline time.Time) error {
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
-	// Join the leader (retry while it comes up).
-	var c0 net.Conn
-	for {
-		c0, err = net.DialTimeout("tcp", t.cfg.Addr, time.Until(deadline))
-		if err == nil {
+	// Join the leader and fetch the roster, retrying the whole
+	// connect+handshake with jittered exponential backoff: while the
+	// leader comes up (or, on a rejoin, rebinds at the new
+	// generation) the dial fails or the hello connection is reset —
+	// both are transient until the deadline says otherwise.
+	var addrs []string
+	for attempt := 0; ; attempt++ {
+		var jerr error
+		addrs, jerr = t.joinLeader(deadline)
+		if jerr == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("transport: job %q dialing leader %s: %w", t.cfg.Job, t.cfg.Addr, err)
+			return fmt.Errorf("transport: job %q joining leader %s: %w", t.cfg.Job, t.cfg.Addr, jerr)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(Backoff(attempt, 10*time.Millisecond, 500*time.Millisecond))
 	}
-	c0.SetDeadline(deadline)
-	t.conns[0] = newTconn(c0)
-	h := hello{sub: helloJoin, generation: t.cfg.Generation, np: t.cfg.NP, procs: t.cfg.Procs, from: t.cfg.Self, job: t.cfg.Job, addr: ln.Addr().String()}
-	if err := t.conns[0].writeFrame(frameHello, encodeHello(h)); err != nil {
-		return fmt.Errorf("transport: joining job %q: %w", t.cfg.Job, err)
-	}
-	br0 := bufio.NewReader(c0)
-	kind, body, err := readFrame(br0)
-	if err != nil {
-		return fmt.Errorf("transport: job %q waiting for roster: %w", t.cfg.Job, err)
-	}
-	if kind != frameRoster {
-		return fmt.Errorf("transport: expected roster frame, got kind %d", kind)
-	}
-	if len(body) < 4 {
-		return fmt.Errorf("transport: short roster")
-	}
-	n := int(binary.LittleEndian.Uint32(body))
-	if n != t.cfg.Procs {
-		return fmt.Errorf("transport: roster for %d processes, want %d", n, t.cfg.Procs)
-	}
-	rest := body[4:]
-	addrs := make([]string, n)
-	for i := range addrs {
-		if len(rest) < 2 {
-			return fmt.Errorf("transport: truncated roster")
-		}
-		l := int(binary.LittleEndian.Uint16(rest))
-		rest = rest[2:]
-		if len(rest) < l {
-			return fmt.Errorf("transport: truncated roster")
-		}
-		addrs[i] = string(rest[:l])
-		rest = rest[l:]
-	}
-	c0.SetDeadline(time.Time{})
 	// Mesh: dial every lower-index peer, accept every higher one.
 	ph := hello{sub: helloPeer, generation: t.cfg.Generation, np: t.cfg.NP, procs: t.cfg.Procs, from: t.cfg.Self, job: t.cfg.Job}
 	for j := 1; j < t.cfg.Self; j++ {
@@ -533,8 +591,8 @@ func (t *tcpTransport) bootstrapPeer(deadline time.Time) error {
 			return fmt.Errorf("transport: job %q waiting for peer connections: %w", t.cfg.Job, err)
 		}
 		c.SetDeadline(deadline)
-		br := bufio.NewReader(c)
-		from, _, err := t.readHelloFrom(br, helloPeer)
+		tc := newTconn(c)
+		from, _, err := t.readHelloFrom(tc.br, helloPeer)
 		if err != nil {
 			c.Close()
 			return err
@@ -544,7 +602,7 @@ func (t *tcpTransport) bootstrapPeer(deadline time.Time) error {
 			return fmt.Errorf("transport: unexpected peer connection from process %d", from)
 		}
 		c.SetDeadline(time.Time{})
-		t.conns[from] = newTconn(c)
+		t.conns[from] = tc
 	}
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(time.Time{})
@@ -552,19 +610,89 @@ func (t *tcpTransport) bootstrapPeer(deadline time.Time) error {
 	return nil
 }
 
+// joinLeader performs one connect+handshake round with the leader:
+// dial, send the join hello, receive the roster of peer listener
+// addresses. On success the leader connection is installed as
+// t.conns[0]; on any error the connection is closed and the caller
+// may retry.
+func (t *tcpTransport) joinLeader(deadline time.Time) ([]string, error) {
+	c0, err := net.DialTimeout("tcp", t.cfg.Addr, time.Until(deadline))
+	if err != nil {
+		return nil, err
+	}
+	c0.SetDeadline(deadline)
+	tc := newTconn(c0)
+	h := hello{sub: helloJoin, generation: t.cfg.Generation, np: t.cfg.NP, procs: t.cfg.Procs, from: t.cfg.Self, job: t.cfg.Job, addr: t.ln.Addr().String()}
+	if err := tc.writeFrame(frameHello, encodeHello(h)); err != nil {
+		c0.Close()
+		return nil, fmt.Errorf("joining: %w", err)
+	}
+	kind, body, err := readFrame(tc.br)
+	if err != nil {
+		// EOF or reset here is also how a refused (e.g. stale-
+		// generation) hello looks; the retry loop re-sends the
+		// current-generation hello, which converges once the caller
+		// has caught up with the job's generation.
+		c0.Close()
+		return nil, fmt.Errorf("waiting for roster: %w", err)
+	}
+	fail := func(format string, args ...any) ([]string, error) {
+		c0.Close()
+		return nil, fmt.Errorf(format, args...)
+	}
+	if kind != frameRoster {
+		return fail("expected roster frame, got kind %d", kind)
+	}
+	if len(body) < 4 {
+		return fail("short roster")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n != t.cfg.Procs {
+		return fail("roster for %d processes, want %d", n, t.cfg.Procs)
+	}
+	rest := body[4:]
+	addrs := make([]string, n)
+	for i := range addrs {
+		if len(rest) < 2 {
+			return fail("truncated roster")
+		}
+		l := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < l {
+			return fail("truncated roster")
+		}
+		addrs[i] = string(rest[:l])
+		rest = rest[l:]
+	}
+	c0.SetDeadline(time.Time{})
+	t.conns[0] = tc
+	return addrs, nil
+}
+
 // readLoop demultiplexes one connection's frames into the per-pair
-// mailboxes and the collective queues.
-func (t *tcpTransport) readLoop(c *tconn, br *bufio.Reader) {
+// mailboxes and the collective queues. peer is the remote process
+// index (-1 for the loopback connection); a read error on a peer
+// connection is attributed to that peer as a *MemberLostError.
+func (t *tcpTransport) readLoop(peer int, c *tconn, br *bufio.Reader) {
 	defer t.wg.Done()
 	for {
 		kind, body, err := readFrame(br)
 		if err != nil {
 			if !t.closed.Load() {
-				t.Fail(fmt.Errorf("transport: job %q connection lost: %w", t.cfg.Job, err))
+				if peer >= 0 {
+					t.Fail(&MemberLostError{Proc: peer, Cause: "connection lost", Err: err})
+				} else {
+					t.Fail(fmt.Errorf("transport: job %q connection lost: %w", t.cfg.Job, err))
+				}
 			}
 			return
 		}
+		if peer >= 0 {
+			t.lastHeard[peer].Store(time.Now().UnixNano())
+		}
 		switch kind {
+		case frameHeart:
+			// Liveness only; the stamp above is the payload.
 		case frameData:
 			if len(body) < 8 {
 				t.Fail(fmt.Errorf("transport: short data frame"))
@@ -621,11 +749,23 @@ func (t *tcpTransport) HostOf(rank int) int { return HostOfRank(t.cfg.NP, t.cfg.
 
 // sendFrame writes a data/bcast frame on conn, failing the transport
 // on I/O errors (the message is dropped; workers surface the sticky
-// error at the end of the epoch).
-func (t *tcpTransport) sendFrame(c *tconn, kind byte, body []byte) {
+// error at the end of the epoch). peer is the remote process index,
+// or -1 for the loopback connection: a write error on a peer
+// connection (broken pipe, reset) means that peer is gone, and must
+// be attributed as a *MemberLostError so recovery treats it exactly
+// like a read-side EOF — whichever side of the dead socket errors
+// first.
+func (t *tcpTransport) sendFrame(peer int, c *tconn, kind byte, body []byte) {
+	if t.fb.get() != nil {
+		return // failed transport: drop, like the other wires
+	}
 	if err := c.writeFrame(kind, body); err != nil {
 		if !t.closed.Load() {
-			t.Fail(fmt.Errorf("transport: job %q write: %w", t.cfg.Job, err))
+			if peer >= 0 {
+				t.Fail(&MemberLostError{Proc: peer, Cause: "connection lost", Err: err})
+			} else {
+				t.Fail(fmt.Errorf("transport: job %q write: %w", t.cfg.Job, err))
+			}
 		}
 	}
 }
@@ -641,11 +781,11 @@ func (t *tcpTransport) Send(src, dst int, msg []float64) {
 	binary.LittleEndian.PutUint32(body, uint32(src))
 	binary.LittleEndian.PutUint32(body[4:], uint32(dst))
 	body = floatsToBytes(body, msg)
-	c := t.loop
+	c, peer := t.loop, -1
 	if c == nil {
-		c = t.conns[h]
+		c, peer = t.conns[h], h
 	}
-	t.sendFrame(c, frameData, body)
+	t.sendFrame(peer, c, frameData, body)
 }
 
 func (t *tcpTransport) Recv(src, dst int) []float64 {
@@ -664,7 +804,7 @@ func (t *tcpTransport) Bcast(from int, vals []float64) []float64 {
 			if i == t.cfg.Self || c == nil {
 				continue
 			}
-			t.sendFrame(c, frameBcast, body)
+			t.sendFrame(i, c, frameBcast, body)
 		}
 		return vals
 	}
@@ -685,13 +825,13 @@ func (t *tcpTransport) Barrier() error {
 			}
 		}
 		for i := 1; i < t.cfg.Procs; i++ {
-			t.sendFrame(t.conns[i], frameRelease, nil)
+			t.sendFrame(i, t.conns[i], frameRelease, nil)
 		}
 		return t.fb.get()
 	}
 	var body [4]byte
 	binary.LittleEndian.PutUint32(body[:], uint32(t.cfg.Self))
-	t.sendFrame(t.conns[0], frameBarrier, body[:])
+	t.sendFrame(0, t.conns[0], frameBarrier, body[:])
 	select {
 	case <-t.release:
 	case <-t.fb.stop:
@@ -707,6 +847,54 @@ func (t *tcpTransport) Fail(err error) {
 
 func (t *tcpTransport) Err() error { return t.fb.get() }
 
+func (t *tcpTransport) Status() Health {
+	h := Health{
+		Procs:      t.cfg.Procs,
+		Self:       t.cfg.Self,
+		Generation: t.cfg.Generation,
+		Alive:      make([]bool, t.cfg.Procs),
+		Err:        t.fb.get(),
+	}
+	now := time.Now().UnixNano()
+	limit := int64(t.cfg.failAfter())
+	for i := range h.Alive {
+		if i == t.cfg.Self || t.cfg.Procs == 1 {
+			h.Alive[i] = true
+			continue
+		}
+		h.Alive[i] = now-t.lastHeard[i].Load() <= limit
+	}
+	if p, ok := AsMemberLost(h.Err); ok && p >= 0 && p < len(h.Alive) {
+		h.Alive[p] = false
+	}
+	return h
+}
+
+// killAbrupt emulates a SIGKILL for the chaos wire: every socket is
+// torn down with no goodbye and the local transport fails sticky with
+// ErrChaosKilled, so peers observe dead connections (and then stale
+// heartbeats) exactly as they would for a killed process.
+func (t *tcpTransport) killAbrupt() {
+	if t.fb.fail(ErrChaosKilled) {
+		t.abortAll()
+	}
+	t.stopHeartbeats()
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	if t.loop != nil {
+		t.loop.c.Close()
+	}
+	if t.loopIn != nil {
+		t.loopIn.c.Close()
+	}
+	for _, c := range t.conns {
+		if c != nil {
+			c.c.Close()
+		}
+	}
+}
+
 func (t *tcpTransport) abortAll() {
 	for _, row := range t.boxes {
 		for _, b := range row {
@@ -718,10 +906,25 @@ func (t *tcpTransport) abortAll() {
 	}
 }
 
+// dropConn severs the raw connection to peer (chaos wire): both
+// ends' read loops observe the dead socket and attribute the loss to
+// each other, the same symptom as a network partition of that link.
+// In loopback mode the self-dialled connection is severed instead.
+func (t *tcpTransport) dropConn(peer int) {
+	if t.loop != nil {
+		t.loop.c.Close()
+		return
+	}
+	if peer >= 0 && peer < len(t.conns) && t.conns[peer] != nil {
+		t.conns[peer].c.Close()
+	}
+}
+
 // teardown closes sockets and aborts waiters without marking the
 // transport failed (deliberate shutdown).
 func (t *tcpTransport) teardown() {
 	t.closed.Store(true)
+	t.stopHeartbeats()
 	if t.ln != nil {
 		t.ln.Close()
 	}

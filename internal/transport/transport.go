@@ -22,11 +22,24 @@
 // transport (Fail, or an I/O error on a connection) aborts blocked
 // Send/Recv calls instead of deadlocking: Recv returns nil and Send
 // drops the message, with the sticky error readable via Err.
+//
+// Failure detection: the multi-process wires watch their members. The
+// tcp transport exchanges heartbeat frames on every connection and
+// the shm transport stamps per-process liveness slots in the mapped
+// header; a member that stops responding (SIGKILL, a wedged host) is
+// reported as a *MemberLostError naming the lost process, which is
+// what the recovery layer (package elastic) keys its
+// generation-bumped rejoin on. Status returns the current membership
+// view. The chaos transport (NewChaos) injects these failures
+// deterministically for tests.
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 )
 
 // Kinds of transport.
@@ -73,8 +86,99 @@ type Transport interface {
 	Fail(err error)
 	// Err returns the sticky failure, if any.
 	Err() error
+	// Status returns the current membership view: which processes
+	// this transport believes are alive. Cheap and safe to call at
+	// any time from any goroutine.
+	Status() Health
 	// Close releases the transport's resources. Idempotent.
 	Close() error
+}
+
+// Health is a point-in-time membership view of a job's processes.
+type Health struct {
+	// Procs and Self mirror the transport's shape.
+	Procs, Self int
+	// Generation is the job generation this transport joined at
+	// (0 for the generation-less inproc wire).
+	Generation int
+	// Alive[i] reports whether process i is believed alive:
+	// heartbeats current (tcp), liveness stamp fresh (shm). A
+	// process's own entry is always true.
+	Alive []bool
+	// Err is the transport's sticky failure, if any.
+	Err error
+}
+
+// Lost lists the process indexes currently believed dead.
+func (h Health) Lost() []int {
+	var out []int
+	for i, a := range h.Alive {
+		if !a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MemberLostError is the sticky failure reported when a member
+// process of a multi-process job is detected dead (connection lost,
+// heartbeats stale, liveness stamp frozen) or when the chaos wire
+// scripts such a loss. The recovery layer treats it as retryable: the
+// job can rebuild at a bumped generation, restore the last checkpoint
+// and replay.
+type MemberLostError struct {
+	// Proc is the lost process's index in 0..Procs-1.
+	Proc int
+	// Cause describes how the loss was detected.
+	Cause string
+	// Err is the underlying I/O error, if any.
+	Err error
+}
+
+func (e *MemberLostError) Error() string {
+	s := fmt.Sprintf("transport: member process %d lost (%s)", e.Proc, e.Cause)
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+func (e *MemberLostError) Unwrap() error { return e.Err }
+
+// AsMemberLost extracts the lost process index from an error chain.
+func AsMemberLost(err error) (proc int, ok bool) {
+	var mle *MemberLostError
+	if errors.As(err, &mle) {
+		return mle.Proc, true
+	}
+	return 0, false
+}
+
+// ErrChaosKilled is the local sticky error of a member the chaos
+// transport abruptly killed: the process's own operations fail with
+// it, while its peers observe a *MemberLostError through their
+// detectors, exactly as if the process had been SIGKILLed.
+var ErrChaosKilled = errors.New("transport: member abruptly killed by chaos plan")
+
+// Backoff returns the jittered exponential backoff delay for the
+// given 0-based retry attempt: base·2^attempt capped at max, with a
+// uniform ±25% jitter so a fleet of rejoining workers does not hammer
+// the rendezvous in lockstep. Shared by the tcp dial-retry loop and
+// the recovery layer's rejoin path.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	// ±25% jitter.
+	j := time.Duration(rand.Int63n(int64(d)/2 + 1))
+	return d - d/4 + j
 }
 
 // HostOfRank computes the deterministic block partition of ranks
@@ -195,7 +299,12 @@ func (t *inproc) Bcast(from int, vals []float64) []float64 { return vals }
 func (t *inproc) Barrier() error                           { return t.fb.get() }
 func (t *inproc) Fail(err error)                           { t.fb.fail(err) }
 func (t *inproc) Err() error                               { return t.fb.get() }
-func (t *inproc) Close() error                             { return nil }
+
+func (t *inproc) Status() Health {
+	return Health{Procs: 1, Self: 0, Alive: []bool{true}, Err: t.fb.get()}
+}
+
+func (t *inproc) Close() error { return nil }
 
 // mailbox is an unbounded FIFO queue of messages for one stream, with
 // abort support: messages queued before the abort still drain in

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"hpfnt/internal/engine"
+	"hpfnt/internal/machine"
+)
+
+// newEngine builds a fresh backend for the checkpoint tests.
+func newEngine(t *testing.T, kind string, np int) engine.Engine {
+	t.Helper()
+	eng, err := engine.NewOn(kind, engine.InprocTransport, np, machine.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestCheckpointRestoreRoundtrip is the rollback-correctness test on
+// both backends and every node workload: run k1 epochs, checkpoint,
+// run k2 more; then rebuild from the checkpoint on a FRESH engine,
+// replay the remaining k2 epochs, and demand values, reduction and
+// machine report identical to the uninterrupted run. The heat
+// workload is the load-bearing case: its values depend on the full
+// epoch history, so a wrong restore shows up in the data, not just
+// the counters.
+func TestCheckpointRestoreRoundtrip(t *testing.T) {
+	const n, np, k1, k2 = 24, 4, 3, 4
+	for _, kind := range engine.Kinds() {
+		for _, name := range NodeWorkloads() {
+			t.Run(kind+"/"+name, func(t *testing.T) {
+				dir := t.TempDir()
+
+				// Uninterrupted reference run.
+				ref, err := RunNode(newEngine(t, kind, np), name, n, k1+k2)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Interrupted run: checkpoint at epoch k1, then abandon
+				// the engine mid-job (as a failure would).
+				eng := newEngine(t, kind, np)
+				eng.Reset()
+				job, err := PrepareNode(eng, name, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := job.Step(k1); err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.Checkpoint(dir, k1, job.Arrays); err != nil {
+					t.Fatal(err)
+				}
+
+				// Recovery: fresh engine, deterministic prologue, restore,
+				// replay the remaining epochs.
+				eng2 := newEngine(t, kind, np)
+				eng2.Reset()
+				job2, err := PrepareNode(eng2, name, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				epoch, err := eng2.Restore(dir, job2.Arrays)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if epoch != k1 {
+					t.Fatalf("restored epoch %d, want %d", epoch, k1)
+				}
+				if err := job2.Step(k2); err != nil {
+					t.Fatal(err)
+				}
+				got, err := job2.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if got.Report != ref.Report {
+					t.Fatalf("report after recovery differs:\n  recovered %+v\n  reference %+v", got.Report, ref.Report)
+				}
+				if got.Sum != ref.Sum {
+					t.Fatalf("reduction after recovery: got %g, want %g", got.Sum, ref.Sum)
+				}
+				if len(got.Data) != len(ref.Data) {
+					t.Fatalf("value vector length: got %d, want %d", len(got.Data), len(ref.Data))
+				}
+				for i := range ref.Data {
+					if got.Data[i] != ref.Data[i] {
+						t.Fatalf("value at offset %d: got %g, want %g", i, got.Data[i], ref.Data[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreErrors pins the failure modes: no checkpoint published,
+// and a checkpoint whose shape disagrees with the arrays.
+func TestRestoreErrors(t *testing.T) {
+	const n, np = 24, 4
+	for _, kind := range engine.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			eng := newEngine(t, kind, np)
+			job, err := PrepareNode(eng, "heat", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Restore(t.TempDir(), job.Arrays); !errors.Is(err, engine.ErrNoCheckpoint) {
+				t.Fatalf("Restore from empty dir = %v, want ErrNoCheckpoint", err)
+			}
+
+			// Checkpoint heat (one array), then try restoring into
+			// jacobi's two arrays: must be refused, not mangled.
+			dir := t.TempDir()
+			if err := job.Step(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Checkpoint(dir, 1, job.Arrays); err != nil {
+				t.Fatal(err)
+			}
+			eng2 := newEngine(t, kind, np)
+			other, err := PrepareNode(eng2, "jacobi", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng2.Restore(dir, other.Arrays); err == nil {
+				t.Fatal("restore accepted a checkpoint with a different array shape")
+			}
+		})
+	}
+}

@@ -14,7 +14,7 @@ import (
 // deterministic program whose control flow depends only on its
 // parameters, so every process of a multi-process job can execute
 // RunNode in lockstep (the SPMD replicated-control contract).
-func NodeWorkloads() []string { return []string{"jacobi", "cg", "edgesweep"} }
+func NodeWorkloads() []string { return []string{"jacobi", "heat", "cg", "edgesweep"} }
 
 // NodeResult is one node workload run: the job-wide machine report
 // and the final global values of the result array (plus the reduction
@@ -27,41 +27,72 @@ type NodeResult struct {
 	Sum    float64
 }
 
+// NodeJob is a prepared node workload, split so the elastic recovery
+// driver can interleave epochs with checkpoints and replay from a
+// rolled-back epoch: Arrays lists every distributed array of the job
+// in deterministic (checkpoint) order, Step advances the computation
+// by k iterations, and Finish computes the result collectives. The
+// prologue that built the job (PrepareNode) is deterministic, so
+// re-running it on a fresh engine and restoring a checkpoint into
+// Arrays reproduces the exact mid-job state.
+type NodeJob struct {
+	Arrays []engine.Array
+	Step   func(k int) error
+	Finish func() (NodeResult, error)
+}
+
+// PrepareNode builds the named workload's arrays and schedule on eng
+// (without resetting counters — the prologue's charges are part of
+// the job, and a restore rolls them back to the checkpoint anyway).
+func PrepareNode(eng engine.Engine, name string, n int) (*NodeJob, error) {
+	np := eng.NP()
+	switch name {
+	case "jacobi":
+		return nodeJacobi(eng, n, np)
+	case "heat":
+		return nodeHeat(eng, n, np)
+	case "cg":
+		return nodeCG(eng, n, np)
+	case "edgesweep":
+		return nodeEdgeSweep(eng, n, np)
+	default:
+		return nil, fmt.Errorf("workload: unknown node workload %q (have %v)", name, NodeWorkloads())
+	}
+}
+
 // RunNode resets eng's counters and runs the named workload on it at
 // problem size n with iters schedule replays.
 func RunNode(eng engine.Engine, name string, n, iters int) (NodeResult, error) {
 	eng.Reset()
-	np := eng.NP()
-	switch name {
-	case "jacobi":
-		return nodeJacobi(eng, n, np, iters)
-	case "cg":
-		return nodeCG(eng, n, np, iters)
-	case "edgesweep":
-		return nodeEdgeSweep(eng, n, np, iters)
-	default:
-		return NodeResult{}, fmt.Errorf("workload: unknown node workload %q (have %v)", name, NodeWorkloads())
+	job, err := PrepareNode(eng, name, n)
+	if err != nil {
+		return NodeResult{}, err
 	}
+	if err := job.Step(iters); err != nil {
+		return NodeResult{}, err
+	}
+	return job.Finish()
 }
 
 // nodeJacobi is the dense workload: the n×n row-blocked 5-point
-// schedule replayed iters times (JacobiReplay), returning B's values.
-func nodeJacobi(eng engine.Engine, n, np, iters int) (NodeResult, error) {
+// schedule replayed per step (JacobiReplay), returning B's values.
+// B ← f(A) with A constant, so every iteration is idempotent.
+func nodeJacobi(eng engine.Engine, n, np int) (*NodeJob, error) {
 	am, err := BlockRowMapping(n, np)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	bm, err := BlockRowMapping(n, np)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	a, err := eng.NewArray("A", am)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	b, err := eng.NewArray("B", bm)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	a.Fill(func(t index.Tuple) float64 { return float64((t[0] * t[1]) % 97) })
 	interior := index.Standard(2, n-1, 2, n-1)
@@ -73,73 +104,120 @@ func nodeJacobi(eng engine.Engine, n, np, iters int) (NodeResult, error) {
 	}
 	sched, err := b.NewSchedule(interior, terms)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
-	if err := sched.ExecuteN(iters); err != nil {
-		return NodeResult{}, err
+	return &NodeJob{
+		Arrays: []engine.Array{a, b},
+		Step:   sched.ExecuteN,
+		Finish: func() (NodeResult, error) {
+			return NodeResult{Report: eng.Stats(), Data: b.Data()}, nil
+		},
+	}, nil
+}
+
+// nodeHeat is the stateful dense workload: the in-place 5-point
+// update A ← 0.25·(A(±1,0) + A(0,±1)) on the interior. Unlike
+// jacobi, every iteration reads the previous iteration's result, so
+// the values at epoch k depend on the full history — exactly the
+// workload that makes checkpoint/rollback correctness observable (a
+// wrong restore yields wrong final values, not just wrong counters).
+// Reading the lhs also defeats ghost coalescing, so every epoch
+// really exchanges frames.
+func nodeHeat(eng engine.Engine, n, np int) (*NodeJob, error) {
+	am, err := BlockRowMapping(n, np)
+	if err != nil {
+		return nil, err
 	}
-	return NodeResult{Report: eng.Stats(), Data: b.Data()}, nil
+	a, err := eng.NewArray("A", am)
+	if err != nil {
+		return nil, err
+	}
+	a.Fill(func(t index.Tuple) float64 { return float64((3*t[0] + 7*t[1]) % 101) })
+	interior := index.Standard(2, n-1, 2, n-1)
+	terms := []engine.Term{
+		engine.Read(a, 0.25, -1, 0),
+		engine.Read(a, 0.25, 1, 0),
+		engine.Read(a, 0.25, 0, -1),
+		engine.Read(a, 0.25, 0, 1),
+	}
+	sched, err := a.NewSchedule(interior, terms)
+	if err != nil {
+		return nil, err
+	}
+	return &NodeJob{
+		Arrays: []engine.Array{a},
+		Step:   sched.ExecuteN,
+		Finish: func() (NodeResult, error) {
+			return NodeResult{Report: eng.Stats(), Data: a.Data()}, nil
+		},
+	}, nil
 }
 
 // nodeCG is the irregular workload: the sparse q = A·x gather (8n
 // nonzeros) through the inspector–executor path, plus the CG-shaped
 // sum reduction.
-func nodeCG(eng engine.Engine, n, np, iters int) (NodeResult, error) {
+func nodeCG(eng engine.Engine, n, np int) (*NodeJob, error) {
 	sys := SparseMatrix(n, 8*n, 23)
 	xm, err := Rank1Mapping(n, np, dist.Block{})
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	qm, err := Rank1Mapping(n, np, dist.Block{})
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	c, err := NewSparseCG(eng, sys, xm, qm)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	sched, err := c.NewSchedule()
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
-	if err := sched.ExecuteN(iters); err != nil {
-		return NodeResult{}, err
-	}
-	sum, err := c.Q.Reduce(runtime.ReduceSum)
-	if err != nil {
-		return NodeResult{}, err
-	}
-	return NodeResult{Report: eng.Stats(), Data: c.Q.Data(), Sum: sum}, nil
+	return &NodeJob{
+		Arrays: []engine.Array{c.X, c.Q},
+		Step:   sched.ExecuteN,
+		Finish: func() (NodeResult, error) {
+			sum, err := c.Q.Reduce(runtime.ReduceSum)
+			if err != nil {
+				return NodeResult{}, err
+			}
+			return NodeResult{Report: eng.Stats(), Data: c.Q.Data(), Sum: sum}, nil
+		},
+	}, nil
 }
 
 // nodeEdgeSweep is the unstructured-mesh workload: the ring-plus-
 // chords edge sweep with a pseudo-random INDIRECT accumulator
 // partition.
-func nodeEdgeSweep(eng engine.Engine, n, np, iters int) (NodeResult, error) {
+func nodeEdgeSweep(eng engine.Engine, n, np int) (*NodeJob, error) {
 	mesh := RingMesh(n, n/2, 29)
 	valMap, err := Rank1Mapping(n, np, dist.Block{})
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	accMap, err := PartitionMapping(n, np, 31)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	val, err := eng.NewArray("VAL", valMap)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	acc, err := eng.NewArray("ACC", accMap)
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
 	val.Fill(xFill)
 	sched, err := acc.NewIrregular(val, mesh.Pattern())
 	if err != nil {
-		return NodeResult{}, err
+		return nil, err
 	}
-	if err := sched.ExecuteN(iters); err != nil {
-		return NodeResult{}, err
-	}
-	return NodeResult{Report: eng.Stats(), Data: acc.Data()}, nil
+	return &NodeJob{
+		Arrays: []engine.Array{val, acc},
+		Step:   sched.ExecuteN,
+		Finish: func() (NodeResult, error) {
+			return NodeResult{Report: eng.Stats(), Data: acc.Data()}, nil
+		},
+	}, nil
 }
