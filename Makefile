@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm race-recovery node-smoke node-smoke-shm node-recovery node-recovery-shm bench bench-snapshot bench-gate speedup amortization fuzz fuzz-engine fuzz-irregular docs
+.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm race-recovery node-smoke node-smoke-shm node-recovery node-recovery-shm obs-smoke obs-recovery-trace bench bench-snapshot bench-gate speedup amortization overhead fuzz fuzz-engine fuzz-irregular docs
 
 check: fmt vet build test docs
 
@@ -75,6 +75,27 @@ node-recovery-shm:
 	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -transport shm -workload heat -n 48 -iters 12 \
 		-checkpoint-every 3 -retries 4 -heartbeat 25ms -kill-proc 2
 
+# Observability smoke: a 2-process job with the full stack live —
+# phase timers, per-process /metrics endpoints (each process
+# self-scrapes and validates its own exposition text at exit), the
+# per-worker detail table, and a merged Chrome trace.
+obs-smoke:
+	$(GO) run ./cmd/hpfnode -spawn -procs 2 -np 4 -workload jacobi -n 32 -iters 4 \
+		-http 127.0.0.1:0 -trace /tmp/hpfnt-obs-smoke.json -verbose
+	$(GO) run ./cmd/hpfnode -spawn -procs 2 -np 4 -transport shm -workload heat -n 32 -iters 4 \
+		-http 127.0.0.1:0
+
+# Recovery with the trace recorder on: the merged trace must contain
+# the member-lost, rollback and rejoin instants of the SIGKILL story.
+obs-recovery-trace:
+	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -workload heat -n 48 -iters 6 \
+		-checkpoint-every 2 -retries 4 -heartbeat 25ms -kill-proc 2 \
+		-trace /tmp/hpfnt-recovery-trace.json -http 127.0.0.1:0
+	@for kind in "member-lost" "rolled back to epoch" "rejoined at generation"; do \
+		grep -q "$$kind" /tmp/hpfnt-recovery-trace.json || \
+			{ echo "recovery trace is missing a \"$$kind\" event"; exit 1; }; \
+	done; echo "recovery trace contains member-lost, rollback and rejoin events"
+
 # Every internal package must carry a package-level godoc comment
 # (go doc prints "Package <name> ..." on its third line iff one
 # exists).
@@ -93,7 +114,7 @@ bench:
 # per-wire micro-benchmarks). Commit the result when the numbers move
 # for a good reason.
 bench-snapshot:
-	$(GO) run ./cmd/hpfbench -repeat 3 -speedup -irregular -wires -json BENCH_6.json
+	$(GO) run ./cmd/hpfbench -repeat 3 -speedup -irregular -wires -json BENCH_8.json
 
 # CI perf-regression gate: a fresh best-of-3 record must stay within
 # 1.5x of the committed snapshot on every timed section, keep the
@@ -101,7 +122,7 @@ bench-snapshot:
 # faster per message than tcp.
 bench-gate:
 	$(GO) run ./cmd/hpfbench -repeat 3 -speedup -irregular -wires -json /tmp/hpfnt-bench-current.json > /dev/null
-	$(GO) run ./cmd/benchgate -baseline BENCH_6.json -current /tmp/hpfnt-bench-current.json -tol 1.5
+	$(GO) run ./cmd/benchgate -baseline BENCH_8.json -current /tmp/hpfnt-bench-current.json -tol 1.5
 
 # The 512² Jacobi schedule-replay speedup gate (spmd >= 1.5x sim).
 speedup:
@@ -111,6 +132,11 @@ speedup:
 # iteration on the 64k-nonzero sparse CG gather).
 amortization:
 	HPFNT_SPEEDUP=1 $(GO) test -run TestIrregularAmortization -count=1 -v ./internal/workload
+
+# The observability overhead gate (tracing + phase timers must stay
+# within 5% of the uninstrumented 512² Jacobi replay wall).
+overhead:
+	HPFNT_SPEEDUP=1 $(GO) test -run TestObservabilityOverhead -count=1 -v ./internal/workload
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzFormatRoundTrip -fuzztime 30s ./internal/dist

@@ -18,6 +18,7 @@ import (
 	"hpfnt/internal/expr"
 	"hpfnt/internal/index"
 	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 	"hpfnt/internal/proc"
 	"hpfnt/internal/runtime"
 	"hpfnt/internal/transport"
@@ -383,6 +384,21 @@ func benchJacobiReplay(b *testing.B, kind string) {
 func BenchmarkJacobiReplaySim(b *testing.B) { benchJacobiReplay(b, engine.Sim) }
 
 func BenchmarkJacobiReplaySPMD(b *testing.B) { benchJacobiReplay(b, engine.SPMD) }
+
+// BenchmarkJacobiReplaySPMDTraced is the same replay with the full
+// observability stack live — phase timers on and the trace recorder
+// installed — so `-bench 'JacobiReplaySPMD'` shows the
+// instrumentation overhead side by side (the acceptance budget is
+// <5%; TestObservabilityOverhead in internal/workload gates it).
+func BenchmarkJacobiReplaySPMDTraced(b *testing.B) {
+	obs.EnableTiming(true)
+	obs.StartTrace(0, 1<<14)
+	defer func() {
+		obs.StopTrace()
+		obs.EnableTiming(false)
+	}()
+	benchJacobiReplay(b, engine.SPMD)
+}
 
 // BenchmarkSpmdScheduleBuild measures the spmd schedule compiler
 // (per-worker plans plus ghost-exchange lists) on the 128² stencil.

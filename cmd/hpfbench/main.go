@@ -40,6 +40,7 @@ import (
 	"hpfnt/internal/exper"
 	"hpfnt/internal/index"
 	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 	"hpfnt/internal/transport"
 	"hpfnt/internal/workload"
 )
@@ -55,6 +56,7 @@ var (
 	wires      = flag.Bool("wires", false, "run the per-wire micro-benchmarks (per-message latency, per-iteration ghost exchange, coalesced frames) over every registered transport")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+	traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run (epoch/reduce/remap/checkpoint spans; open in Perfetto) and enable phase timers")
 )
 
 // jsonCheck mirrors exper.Check for the JSON record.
@@ -173,6 +175,24 @@ func run() int {
 			return 1
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		// Timers on, recorder live: every experiment's epoch, reduce,
+		// remap and checkpoint spans land in one single-process trace.
+		obs.EnableTiming(true)
+		obs.StartTrace(0, 1<<16)
+		defer func() {
+			rec := obs.StopTrace()
+			if rec == nil {
+				return
+			}
+			events := rec.Snapshot()
+			if err := obs.WriteTrace(*traceOut, events); err != nil {
+				fmt.Fprintf(os.Stderr, "hpfbench: -trace: %v\n", err)
+				return
+			}
+			fmt.Printf("trace: wrote %d events to %s (open in Perfetto)\n", len(events), *traceOut)
+		}()
 	}
 	if *memprofile != "" {
 		defer func() {

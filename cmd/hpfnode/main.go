@@ -58,6 +58,7 @@ import (
 	"hpfnt/internal/elastic"
 	"hpfnt/internal/engine"
 	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 	"hpfnt/internal/transport"
 	"hpfnt/internal/workload"
 )
@@ -88,6 +89,10 @@ var (
 
 	chaosDieProc  = flag.Int("chaos-die-proc", -1, "chaos: this process abruptly kills its transport (no goodbye) at -chaos-die-epoch of the starting generation, then rejoins")
 	chaosDieEpoch = flag.Int("chaos-die-epoch", 0, "chaos: epoch at which -chaos-die-proc dies (0 = no chaos)")
+
+	httpAddr  = flag.String("http", "", "serve live Prometheus-text /metrics and /debug/pprof on this address (host:port; port 0 auto-picks); spawned workers bind 127.0.0.1:0")
+	tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in Perfetto): each process writes <path>.p<self>.json, the leader merges them into <path>")
+	verbose   = flag.Bool("verbose", false, "enable phase timers and print the leader's per-worker detail table (load, traffic matrix, phase times) instead of the terse report line")
 )
 
 func main() { os.Exit(run()) }
@@ -99,6 +104,24 @@ func run() int {
 		names = workload.NodeWorkloads()
 	} else {
 		names = []string{*wl}
+	}
+	// Observability: phase timers ride any of the three switches (the
+	// verification below compares Logical reports, so measured wall
+	// time never perturbs the acceptance check).
+	if *verbose || *tracePath != "" || *httpAddr != "" {
+		obs.EnableTiming(true)
+	}
+	if *tracePath != "" {
+		obs.StartTrace(*self, 1<<14)
+	}
+	var scrape func() int
+	if *httpAddr != "" {
+		var err error
+		scrape, err = serveMetrics(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpfnode: -http: %v\n", err)
+			return 1
+		}
 	}
 	spill := resolveSpill()
 	if err := validateRecoveryFlags(names, spill); err != nil {
@@ -138,6 +161,13 @@ func run() int {
 	}
 	code := runMember(rendezvous, spill, names)
 	close(jobDone)
+	if scrape != nil {
+		// Self-scrape while the endpoint is still up: the run fails if
+		// its own /metrics does not parse as valid exposition text.
+		if c := scrape(); c != 0 && code == 0 {
+			code = c
+		}
+	}
 	if code != 0 {
 		// Don't leave orphaned workers grinding (or hanging) after the
 		// leader has already failed the job.
@@ -146,7 +176,45 @@ func run() int {
 	if c := sup.waitAll(*timeout); c != 0 && code == 0 {
 		code = c
 	}
+	if c := finishTrace(); c != 0 && code == 0 {
+		code = c
+	}
 	return code
+}
+
+// finishTrace writes this process's trace part and, on the leader
+// (after every child has been reaped and has written its own part),
+// merges the parts into the final trace file. A missing part is
+// tolerated: a SIGKILLed member never wrote one.
+func finishTrace() int {
+	rec := obs.StopTrace()
+	if rec == nil {
+		return 0
+	}
+	part := tracePart(*tracePath, *self)
+	if err := obs.WriteTrace(part, rec.Snapshot()); err != nil {
+		fmt.Fprintf(os.Stderr, "hpfnode[%d]: writing trace part: %v\n", *self, err)
+		return 1
+	}
+	if *self != 0 {
+		return 0
+	}
+	parts := make([]string, *procs)
+	for i := range parts {
+		parts[i] = tracePart(*tracePath, i)
+	}
+	n, err := obs.MergeTraces(*tracePath, parts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpfnode[0]: merging trace: %v\n", err)
+		return 1
+	}
+	fmt.Printf("hpfnode[0]: wrote %d trace events to %s (open in Perfetto)\n", n, *tracePath)
+	return 0
+}
+
+// tracePart names process idx's trace part file.
+func tracePart(base string, idx int) string {
+	return fmt.Sprintf("%s.p%d.json", base, idx)
 }
 
 // resolveSpill resolves the job's spill directory: the explicit flag,
@@ -255,6 +323,19 @@ func childCmd(rendezvous, spill string, idx int) (*exec.Cmd, error) {
 	}
 	if spill != "" {
 		args = append(args, "-checkpoint-dir", spill)
+	}
+	if *verbose {
+		args = append(args, "-verbose")
+	}
+	if *tracePath != "" {
+		// Every member records into the same part-file scheme; the
+		// leader merges after reaping the children.
+		args = append(args, "-trace", *tracePath)
+	}
+	if *httpAddr != "" {
+		// Workers auto-pick a port: each process is its own scrape
+		// target (per-process /metrics, no cross-process collectives).
+		args = append(args, "-http", "127.0.0.1:0")
 	}
 	if *chaosDieEpoch > 0 {
 		args = append(args,
@@ -417,7 +498,7 @@ func runMember(rendezvous, spill string, names []string) int {
 	curGen := *gen
 	code := 0
 	for _, name := range names {
-		res, eres, err := runWorkload(rendezvous, name, spillFor(spill, name), curGen)
+		res, det, eres, err := runWorkload(rendezvous, name, spillFor(spill, name), curGen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hpfnode[%d]: %s: %v\n", *self, name, err)
 			return 1
@@ -432,7 +513,11 @@ func runMember(rendezvous, spill string, names []string) int {
 			fmt.Printf("hpfnode[0]: %-9s survived %d member loss(es): %d attempts, final generation %d, restored epoch %d\n",
 				name, eres.Recovered, eres.Attempts, eres.Generation, eres.RestoredEpoch)
 		}
-		fmt.Printf("hpfnode[0]: %-9s n=%d iters=%d: %s\n", name, *size, *iters, res.Report)
+		if *verbose {
+			fmt.Printf("hpfnode[0]: %-9s n=%d iters=%d:\n%s", name, *size, *iters, det)
+		} else {
+			fmt.Printf("hpfnode[0]: %-9s n=%d iters=%d: %s\n", name, *size, *iters, res.Report)
+		}
 		if *noverify {
 			continue
 		}
@@ -447,12 +532,22 @@ func runMember(rendezvous, spill string, names []string) int {
 }
 
 // runWorkload runs one workload fault-tolerantly and returns its
-// result plus the recovery summary.
-func runWorkload(rendezvous, name, wdir string, startGen int) (workload.NodeResult, elastic.Result, error) {
+// result, the leader's job-wide detail (zero unless -verbose) and the
+// recovery summary. Each attempt's transport and engine are published
+// to the live /metrics state as they come up.
+func runWorkload(rendezvous, name, wdir string, startGen int) (workload.NodeResult, machine.Detail, elastic.Result, error) {
 	var out workload.NodeResult
+	var det machine.Detail
 	cfg := elastic.Config{
-		Dial: func(g int) (transport.Transport, error) { return dialWire(rendezvous, g) },
+		Dial: func(g int) (transport.Transport, error) {
+			tr, err := dialWire(rendezvous, g)
+			if err == nil {
+				live.setTransport(tr)
+			}
+			return tr, err
+		},
 		Prepare: func(eng engine.Engine) (elastic.Job, error) {
+			live.setEngine(eng, wdir)
 			job, err := workload.PrepareNode(eng, name, *size)
 			if err != nil {
 				return elastic.Job{}, err
@@ -466,6 +561,11 @@ func runWorkload(rendezvous, name, wdir string, startGen int) (workload.NodeResu
 						return err
 					}
 					out = r
+					if *verbose {
+						// Collective, like Stats: every member reaches
+						// this same point of its Finish.
+						det = eng.Detail()
+					}
 					return nil
 				},
 			}, nil
@@ -492,7 +592,7 @@ func runWorkload(rendezvous, name, wdir string, startGen int) (workload.NodeResu
 		}
 	}
 	eres, err := elastic.Run(cfg)
-	return out, eres, err
+	return out, det, eres, err
 }
 
 // verify re-runs the workload on a single-process in-process spmd
@@ -509,8 +609,12 @@ func verify(name string, got workload.NodeResult) error {
 	if err != nil {
 		return err
 	}
-	if got.Report != want.Report {
-		return fmt.Errorf("report mismatch:\n  job        %+v\n  in-process %+v", got.Report, want.Report)
+	// Logical counters only: with -verbose or -trace the phase timers
+	// charge real (irreproducible) wall time into Report.Phase, which
+	// must never fail the equivalence check.
+	if got.Report.Logical() != want.Report.Logical() {
+		return fmt.Errorf("report mismatch:\n  job        %+v\n  in-process %+v",
+			got.Report.Logical(), want.Report.Logical())
 	}
 	if got.Sum != want.Sum {
 		return fmt.Errorf("reduction mismatch: job %g, in-process %g", got.Sum, want.Sum)

@@ -38,10 +38,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hpfnt/internal/engine"
 	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 	"hpfnt/internal/transport"
 )
 
@@ -164,6 +166,14 @@ func Retryable(err error) bool {
 
 var errWatchdog = errors.New("elastic: epoch watchdog expired")
 
+// retries counts member-loss recoveries performed by this process
+// across all elastic runs — the recovery-retry counter the /metrics
+// endpoint exposes.
+var retries atomic.Int64
+
+// Retries reports the process-wide recovery retry count.
+func Retries() int64 { return retries.Load() }
+
 // Run executes the job fault-tolerantly: dial, prepare, restore any
 // published checkpoint, then alternate epoch chunks with checkpoints
 // until Iters epochs have completed and Finish succeeds. On a
@@ -190,8 +200,24 @@ func Run(cfg Config) (Result, error) {
 		if !Retryable(err) || attempt >= cfg.Retries {
 			return res, err
 		}
-		cfg.logf("elastic: generation %d failed (%v); rejoining at generation %d", gen, err, gen+1)
+		// Structured retry line: every recovery decision on one line —
+		// the failed generation, the cause (naming the lost peer when
+		// one was detected), where the replay will roll back to, and
+		// how long this process backs off before redialing.
+		backoff := transport.Backoff(attempt, 20*time.Millisecond, 500*time.Millisecond)
+		cause := fmt.Sprintf("cause=%q", err)
+		if proc, ok := transport.AsMemberLost(err); ok {
+			cause = fmt.Sprintf("lost-peer=%d cause=%q", proc, err)
+		}
+		rollback := "scratch"
+		if cfg.CheckpointEvery > 0 && cfg.Dir != "" {
+			rollback = "last-checkpoint"
+		}
+		cfg.logf("elastic: retry attempt=%d generation=%d %s rollback=%s next-generation=%d backoff=%v",
+			attempt+1, gen, cause, rollback, gen+1, backoff)
+		obs.Instant("recovery", fmt.Sprintf("generation %d failed: %v", gen, err), 0)
 		res.Recovered++
+		retries.Add(1)
 		gen++
 		if cfg.Dir != "" && cfg.Self == 0 {
 			if werr := WriteGeneration(cfg.Dir, gen); werr != nil {
@@ -200,7 +226,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		// Jittered backoff keeps a fleet of rejoining survivors from
 		// hammering the rendezvous in lockstep.
-		time.Sleep(transport.Backoff(attempt, 20*time.Millisecond, 500*time.Millisecond))
+		time.Sleep(backoff)
 	}
 }
 
@@ -221,6 +247,9 @@ func runAttempt(cfg *Config, gen int, res *Result) error {
 	if err != nil {
 		return err
 	}
+	if gen > cfg.StartGen {
+		obs.Instant("recovery", fmt.Sprintf("rejoined at generation %d", gen), 0)
+	}
 	defer eng.Close()
 	eng.Reset()
 	job, err := cfg.Prepare(eng)
@@ -235,6 +264,7 @@ func runAttempt(cfg *Config, gen int, res *Result) error {
 			epoch = e
 			res.RestoredEpoch = e
 			cfg.logf("elastic: generation %d restored checkpoint at epoch %d", gen, e)
+			obs.Instant("recovery", fmt.Sprintf("generation %d rolled back to epoch %d", gen, e), 0)
 		case errors.Is(rerr, engine.ErrNoCheckpoint):
 			// First attempt, or loss before the first checkpoint:
 			// replay from scratch.

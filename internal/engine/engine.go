@@ -156,6 +156,15 @@ type Engine interface {
 	NewArray(name string, m core.ElementMapping) (Array, error)
 	// Stats snapshots the counters.
 	Stats() machine.Report
+	// Detail snapshots the full per-worker counter view (load vector,
+	// traffic matrix, phase times). Same collective contract as Stats
+	// on a multi-process spmd engine.
+	Detail() machine.Detail
+	// LocalDetail snapshots this process's share of the counters
+	// without any collective; unlike every other accessor it is safe
+	// from any goroutine at any time (the /metrics scrape path). On
+	// sim and single-process spmd it equals Detail.
+	LocalDetail() machine.Detail
 	// Reset clears the counters.
 	Reset()
 	// Checkpoint snapshots the arrays' values and the job-wide

@@ -28,12 +28,14 @@ func newSim(np int, cost machine.CostModel) (Engine, error) {
 	return &simEngine{np: np, m: m}, nil
 }
 
-func (e *simEngine) Kind() string              { return Sim }
-func (e *simEngine) NP() int                   { return e.np }
-func (e *simEngine) Machine() *machine.Machine { return e.m }
-func (e *simEngine) Stats() machine.Report     { return e.m.Stats() }
-func (e *simEngine) Reset()                    { e.m.Reset() }
-func (e *simEngine) Close() error              { return nil }
+func (e *simEngine) Kind() string                { return Sim }
+func (e *simEngine) NP() int                     { return e.np }
+func (e *simEngine) Machine() *machine.Machine   { return e.m }
+func (e *simEngine) Stats() machine.Report       { return e.m.Stats() }
+func (e *simEngine) Detail() machine.Detail      { return e.m.Detail() }
+func (e *simEngine) LocalDetail() machine.Detail { return e.m.Detail() }
+func (e *simEngine) Reset()                      { e.m.Reset() }
+func (e *simEngine) Close() error                { return nil }
 
 // Checkpoint writes each array's dense values as a single rank-0
 // shard plus the counter vector — the same ckpt format the spmd

@@ -26,12 +26,14 @@ func newSPMDOn(tr transport.Transport, cost machine.CostModel) (Engine, error) {
 	return &spmdEngine{e: e}, nil
 }
 
-func (e *spmdEngine) Kind() string              { return SPMD }
-func (e *spmdEngine) NP() int                   { return e.e.NP() }
-func (e *spmdEngine) Machine() *machine.Machine { return e.e.Machine() }
-func (e *spmdEngine) Stats() machine.Report     { return e.e.Stats() }
-func (e *spmdEngine) Reset()                    { e.e.Reset() }
-func (e *spmdEngine) Close() error              { return e.e.Close() }
+func (e *spmdEngine) Kind() string                { return SPMD }
+func (e *spmdEngine) NP() int                     { return e.e.NP() }
+func (e *spmdEngine) Machine() *machine.Machine   { return e.e.Machine() }
+func (e *spmdEngine) Stats() machine.Report       { return e.e.Stats() }
+func (e *spmdEngine) Detail() machine.Detail      { return e.e.DetailStats() }
+func (e *spmdEngine) LocalDetail() machine.Detail { return e.e.LocalDetail() }
+func (e *spmdEngine) Reset()                      { e.e.Reset() }
+func (e *spmdEngine) Close() error                { return e.e.Close() }
 
 // unwrapArrays checks backend membership and unwraps to spmd arrays.
 func (e *spmdEngine) unwrapArrays(arrays []Array) ([]*spmd.Array, error) {

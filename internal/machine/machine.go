@@ -57,6 +57,11 @@ type Machine struct {
 	recvElems  []int64
 	sendMsgs   []int64
 	recvMsgs   []int64
+	// phaseNS is the per-processor wall time per worker phase in
+	// nanoseconds, indexed phase*(NP+1)+p (see phase.go). All zero
+	// unless phase timing is enabled (package obs), so the logical
+	// counters stay deterministic by default.
+	phaseNS []int64
 }
 
 // New creates a machine with np processors and the given cost model.
@@ -81,6 +86,7 @@ func (m *Machine) Reset() {
 	m.recvElems = make([]int64, m.NP+1)
 	m.sendMsgs = make([]int64, m.NP+1)
 	m.recvMsgs = make([]int64, m.NP+1)
+	m.phaseNS = make([]int64, NumPhases*(m.NP+1))
 }
 
 func (m *Machine) checkProc(p int) {
@@ -147,6 +153,9 @@ type Report struct {
 	ComputeTime    float64 // MaxLoad · PerFlop
 	EstimatedTime  float64 // ComputeTime + CommTime
 	RemoteFraction float64 // RemoteRefs / (LocalRefs+RemoteRefs)
+	// Phase is the measured job-wide wall time per worker phase
+	// (all-zero unless phase timing is enabled; see Logical).
+	Phase PhaseSeconds
 }
 
 // Stats derives the current report.
@@ -178,6 +187,7 @@ func (m *Machine) Stats() Report {
 	if tot := r.LocalRefs + r.RemoteRefs; tot > 0 {
 		r.RemoteFraction = float64(r.RemoteRefs) / float64(tot)
 	}
+	r.Phase = m.phaseTotals()
 	return r
 }
 
@@ -185,14 +195,24 @@ func (m *Machine) Stats() Report {
 // vector (counts stay far below 2^53, so the encoding is exact) for
 // shipment between the processes of a multi-process spmd job:
 // [localRefs, remoteRefs, wireFrames, load(1..NP), sendElems(1..NP),
-// recvElems(1..NP), sendMsgs(1..NP), recvMsgs(1..NP), pairCount,
+// recvElems(1..NP), sendMsgs(1..NP), recvMsgs(1..NP),
+// phaseNS(phase-major, NumPhases×NP), pairCount,
 // (src, dst, msgs, elems)...]. MergeCounters is its inverse-and-add.
+// Phase nanoseconds ride the same vector so a multi-process job's
+// phase breakdown is job-wide, survives checkpoint/restore, and a
+// counter added here without a MergeCounters counterpart is caught by
+// the roundtrip drift test.
 func (m *Machine) EncodeCounters() []float64 {
-	out := make([]float64, 0, 3+5*m.NP+1+4*len(m.msgs))
+	out := make([]float64, 0, 3+(5+NumPhases)*m.NP+1+4*len(m.msgs))
 	out = append(out, float64(m.localRefs), float64(m.remoteRefs), float64(m.wireFrames))
 	for _, vec := range [][]int64{m.load, m.sendElems, m.recvElems, m.sendMsgs, m.recvMsgs} {
 		for p := 1; p <= m.NP; p++ {
 			out = append(out, float64(vec[p]))
+		}
+	}
+	for ph := 0; ph < NumPhases; ph++ {
+		for p := 1; p <= m.NP; p++ {
+			out = append(out, float64(m.phaseNS[ph*(m.NP+1)+p]))
 		}
 	}
 	tm := m.TrafficMatrix()
@@ -208,7 +228,7 @@ func (m *Machine) EncodeCounters() []float64 {
 // to the job-wide counters, because every event (send, load, local or
 // remote reference) is charged by exactly one process.
 func (m *Machine) MergeCounters(enc []float64) error {
-	head := 3 + 5*m.NP + 1
+	head := 3 + (5+NumPhases)*m.NP + 1
 	if len(enc) < head {
 		return fmt.Errorf("machine: counter vector has %d entries, want at least %d", len(enc), head)
 	}
@@ -223,6 +243,12 @@ func (m *Machine) MergeCounters(enc []float64) error {
 	for _, vec := range [][]int64{m.load, m.sendElems, m.recvElems, m.sendMsgs, m.recvMsgs} {
 		for p := 1; p <= m.NP; p++ {
 			vec[p] += int64(enc[i])
+			i++
+		}
+	}
+	for ph := 0; ph < NumPhases; ph++ {
+		for p := 1; p <= m.NP; p++ {
+			m.phaseNS[ph*(m.NP+1)+p] += int64(enc[i])
 			i++
 		}
 	}

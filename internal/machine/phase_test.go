@@ -1,0 +1,190 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPhaseAccessors(t *testing.T) {
+	m, _ := New(4, DefaultCost())
+	m.AddPhaseNS(2, PhaseGhostWait, 1500)
+	m.AddPhaseNS(2, PhaseGhostWait, 500)
+	m.AddPhaseNS(3, PhaseCompute, 1000)
+	m.AddPhaseNS(3, PhaseCompute, -50) // non-positive charges are dropped
+	if got := m.PhaseNS(2, PhaseGhostWait); got != 2000 {
+		t.Errorf("PhaseNS(2, ghost_wait) = %d, want 2000", got)
+	}
+	if got := m.PhaseNS(3, PhaseCompute); got != 1000 {
+		t.Errorf("PhaseNS(3, compute) = %d, want 1000", got)
+	}
+	if got := m.PhaseNS(1, PhaseReduce); got != 0 {
+		t.Errorf("uncharged phase reads %d, want 0", got)
+	}
+	ps := m.Stats().Phase
+	if ps.GhostWait != 2e-6 || ps.Compute != 1e-6 {
+		t.Errorf("phase totals %+v, want ghost 2µs compute 1µs", ps)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != NumPhases {
+		t.Fatalf("PhaseNames has %d entries, want %d", len(names), NumPhases)
+	}
+	seen := map[string]bool{}
+	for ph := 0; ph < NumPhases; ph++ {
+		s := Phase(ph).String()
+		if s != names[ph] || s == "" || seen[s] {
+			t.Errorf("phase %d name %q invalid or duplicated", ph, s)
+		}
+		seen[s] = true
+	}
+	if s := Phase(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("out-of-range phase renders %q", s)
+	}
+}
+
+func TestLogicalStripsPhase(t *testing.T) {
+	m, _ := New(2, DefaultCost())
+	m.Send(1, 2, 10)
+	m.AddLoad(1, 5)
+	logical := m.Stats()
+	m.AddPhaseNS(1, PhaseCompute, 12345)
+	timed := m.Stats()
+	if timed == logical {
+		t.Fatal("phase charge did not reach the report")
+	}
+	if timed.Logical() != logical.Logical() {
+		t.Fatalf("Logical() did not strip wall time:\n timed   %+v\n logical %+v", timed.Logical(), logical.Logical())
+	}
+}
+
+// TestPhaseEncodeMergeRoundtrip checks that phase nanoseconds and
+// wire frames ride the counter vector: two processes' shares merge to
+// job-wide per-worker phase times.
+func TestPhaseEncodeMergeRoundtrip(t *testing.T) {
+	const np = 3
+	a, _ := New(np, DefaultCost())
+	b, _ := New(np, DefaultCost())
+	a.AddPhaseNS(1, PhaseCompute, 100)
+	a.AddPhaseNS(2, PhaseBarrierWait, 200)
+	a.AddWireFrames(7)
+	b.AddPhaseNS(1, PhaseCompute, 50)
+	b.AddPhaseNS(3, PhaseCheckpoint, 900)
+	b.AddWireFrames(2)
+	merged, _ := New(np, DefaultCost())
+	for _, part := range [][]float64{a.EncodeCounters(), b.EncodeCounters()} {
+		if err := merged.MergeCounters(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := merged.PhaseNS(1, PhaseCompute); got != 150 {
+		t.Errorf("merged compute on worker 1 = %d, want 150", got)
+	}
+	if got := merged.PhaseNS(2, PhaseBarrierWait); got != 200 {
+		t.Errorf("merged barrier-wait on worker 2 = %d, want 200", got)
+	}
+	if got := merged.PhaseNS(3, PhaseCheckpoint); got != 900 {
+		t.Errorf("merged checkpoint on worker 3 = %d, want 900", got)
+	}
+	if got := merged.WireFrames(); got != 9 {
+		t.Errorf("merged wire frames = %d, want 9", got)
+	}
+}
+
+// TestCounterEncodeDrift is the drift gate for EncodeCounters and
+// MergeCounters: it populates every counter field of Machine with
+// distinct nonzero values, roundtrips the whole state through
+// encode+merge, and demands deep equality. A counter field added to
+// Machine without an encoding makes this test fail — first in the
+// exhaustive field switch, then in the DeepEqual.
+func TestCounterEncodeDrift(t *testing.T) {
+	const np = 3
+	src, _ := New(np, DefaultCost())
+	seed := int64(3)
+	next := func() int64 { seed += 7; return seed }
+	typ := reflect.TypeOf(Machine{})
+	for i := 0; i < typ.NumField(); i++ {
+		switch name := typ.Field(i).Name; name {
+		case "NP", "Cost":
+			// Shape and model, not counters.
+		case "msgs":
+			src.msgs[pair{1, 2}] = int(next())
+			src.msgs[pair{3, 1}] = int(next())
+		case "elems":
+			src.elems[pair{1, 2}] = int(next())
+			src.elems[pair{3, 1}] = int(next())
+		case "localRefs":
+			src.localRefs = next()
+		case "remoteRefs":
+			src.remoteRefs = next()
+		case "wireFrames":
+			src.wireFrames = next()
+		case "load":
+			for p := 1; p <= np; p++ {
+				src.load[p] = next()
+			}
+		case "sendElems":
+			for p := 1; p <= np; p++ {
+				src.sendElems[p] = next()
+			}
+		case "recvElems":
+			for p := 1; p <= np; p++ {
+				src.recvElems[p] = next()
+			}
+		case "sendMsgs":
+			for p := 1; p <= np; p++ {
+				src.sendMsgs[p] = next()
+			}
+		case "recvMsgs":
+			for p := 1; p <= np; p++ {
+				src.recvMsgs[p] = next()
+			}
+		case "phaseNS":
+			for ph := 0; ph < NumPhases; ph++ {
+				for p := 1; p <= np; p++ {
+					src.phaseNS[ph*(np+1)+p] = next()
+				}
+			}
+		default:
+			t.Fatalf("machine.Machine gained counter field %q: teach EncodeCounters, MergeCounters and this test about it", name)
+		}
+	}
+	dst, _ := New(np, DefaultCost())
+	if err := dst.MergeCounters(src.EncodeCounters()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(src, dst) {
+		t.Fatalf("counter state does not survive encode+merge:\n src %+v\n dst %+v", src, dst)
+	}
+}
+
+func TestDetailString(t *testing.T) {
+	m, _ := New(2, DefaultCost())
+	m.Send(1, 2, 10)
+	m.AddLoad(1, 5)
+	m.AddLoad(2, 6)
+	m.AddWireFrames(1)
+
+	// Untimed: no phase columns.
+	plain := m.Detail().String()
+	if strings.Contains(plain, "ghost_wait") {
+		t.Errorf("untimed detail shows phase columns:\n%s", plain)
+	}
+	if !strings.Contains(plain, "1->2:1m/10e") {
+		t.Errorf("detail misses the traffic matrix:\n%s", plain)
+	}
+
+	m.AddPhaseNS(1, PhaseGhostWait, 2_000_000)
+	d := m.Detail()
+	if d.WireFrames != 1 {
+		t.Errorf("Detail.WireFrames = %d, want 1", d.WireFrames)
+	}
+	timed := d.String()
+	for _, want := range []string{"worker", "ghost_wait", "phases:", "1->2:1m/10e"} {
+		if !strings.Contains(timed, want) {
+			t.Errorf("timed detail missing %q:\n%s", want, timed)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Sample is one metric sample: label values (matching the metric's
+// declared label names, in order) and the current value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// metric is one registered pull-style metric: its collector function
+// is invoked at scrape time, so the registry never caches stale
+// values and the instrumented code pays nothing between scrapes.
+type metric struct {
+	name       string
+	help       string
+	kind       string // "gauge" or "counter"
+	labelNames []string
+	collect    func() []Sample
+}
+
+// Registry collects pull-style metrics and renders them in the
+// Prometheus text exposition format (version 0.0.4: # HELP / # TYPE
+// comment lines followed by name{label="value"} value samples).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(kind, name, help string, labelNames []string, collect func() []Sample) error {
+	if !validMetricName(name) {
+		return fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	for _, l := range labelNames {
+		if !validMetricName(l) {
+			return fmt.Errorf("obs: invalid label name %q on metric %s", l, name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		if m.name == name {
+			return fmt.Errorf("obs: metric %s registered twice", name)
+		}
+	}
+	r.metrics = append(r.metrics, metric{name: name, help: help, kind: kind, labelNames: labelNames, collect: collect})
+	return nil
+}
+
+// Gauge registers a gauge whose samples are pulled from collect at
+// every scrape.
+func (r *Registry) Gauge(name, help string, labelNames []string, collect func() []Sample) error {
+	return r.register("gauge", name, help, labelNames, collect)
+}
+
+// Counter registers a monotonically-increasing counter pulled from
+// collect at every scrape.
+func (r *Registry) Counter(name, help string, labelNames []string, collect func() []Sample) error {
+	return r.register("counter", name, help, labelNames, collect)
+}
+
+// Expose renders every registered metric in the Prometheus text
+// exposition format.
+func (r *Registry) Expose() []byte {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	var b bytes.Buffer
+	for _, m := range ms {
+		samples := m.collect()
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		for _, s := range samples {
+			b.WriteString(m.name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, v := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", m.labelNames[i], v)
+				}
+				b.WriteByte('}')
+			}
+			fmt.Fprintf(&b, " %s\n", strconv.FormatFloat(s.Value, 'g', -1, 64))
+		}
+	}
+	return b.Bytes()
+}
+
+// Handler returns the /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(r.Expose())
+	})
+}
+
+// Serve binds addr (host:port; port 0 auto-picks) and serves /metrics
+// from this registry plus the standard /debug/pprof endpoints.
+// Returns the bound address and a shutdown function.
+func (r *Registry) Serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// validMetricName checks the Prometheus metric/label name charset
+// [a-zA-Z_][a-zA-Z0-9_]* (we do not use colons).
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateExposition checks text against the Prometheus exposition
+// format: every non-comment line must be name{labels} value with a
+// valid metric name, parseable label quoting and a parseable float,
+// and every samples block must be preceded by matching # TYPE
+// metadata. Returns the number of samples validated. This is what the
+// CI smoke runs against a live /metrics scrape.
+func ValidateExposition(text []byte) (int, error) {
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	typed := map[string]string{}
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				kind := fields[3]
+				if kind != "gauge" && kind != "counter" && kind != "histogram" && kind != "summary" && kind != "untyped" {
+					return samples, fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				typed[fields[2]] = kind
+			}
+			continue
+		}
+		name, rest, err := splitSampleName(line)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, ok := typed[name]; !ok {
+			return samples, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		val := strings.TrimSpace(rest)
+		if i := strings.IndexAny(val, " \t"); i >= 0 {
+			// Optional trailing timestamp.
+			ts := strings.TrimSpace(val[i:])
+			val = val[:i]
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return samples, fmt.Errorf("line %d: bad timestamp %q", lineNo, ts)
+			}
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return samples, fmt.Errorf("line %d: bad sample value %q", lineNo, val)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+// splitSampleName splits a sample line into its metric name and the
+// remainder after the optional {labels} block, validating the label
+// syntax.
+func splitSampleName(line string) (string, string, error) {
+	i := strings.IndexAny(line, "{ \t")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] != '{' {
+		return name, rest, nil
+	}
+	// Walk the label block respecting quoted values.
+	j := 1
+	for j < len(rest) {
+		if rest[j] == '}' {
+			return name, rest[j+1:], nil
+		}
+		// label name
+		k := j
+		for k < len(rest) && rest[k] != '=' {
+			k++
+		}
+		if k == j || k == len(rest) || !validMetricName(rest[j:k]) {
+			return "", "", fmt.Errorf("malformed label block in %q", line)
+		}
+		k++ // past '='
+		if k >= len(rest) || rest[k] != '"' {
+			return "", "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		k++
+		for k < len(rest) && rest[k] != '"' {
+			if rest[k] == '\\' {
+				k++
+			}
+			k++
+		}
+		if k >= len(rest) {
+			return "", "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		k++ // past closing quote
+		if k < len(rest) && rest[k] == ',' {
+			k++
+		}
+		j = k
+	}
+	return "", "", fmt.Errorf("unterminated label block in %q", line)
+}

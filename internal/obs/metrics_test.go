@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.Gauge("test_gauge", "A gauge.", nil, func() []Sample {
+		return []Sample{{Value: 42}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Counter("test_pair_total", "A labelled counter.", []string{"src", "dst"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"1", "2"}, Value: 10},
+			{Labels: []string{"2", "1"}, Value: 12.5},
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestRegistryExpose(t *testing.T) {
+	text := testRegistry(t).Expose()
+	for _, want := range []string{
+		"# TYPE test_gauge gauge",
+		"test_gauge 42",
+		"# TYPE test_pair_total counter",
+		`test_pair_total{src="1",dst="2"} 10`,
+		`test_pair_total{src="2",dst="1"} 12.5`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	n, err := ValidateExposition(text)
+	if err != nil {
+		t.Fatalf("own exposition does not validate: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("validated %d samples, want 3", n)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Gauge("bad-name", "h", nil, func() []Sample { return nil }); err == nil {
+		t.Error("metric name with a dash must be rejected")
+	}
+	if err := reg.Gauge("ok_name", "h", []string{"2bad"}, func() []Sample { return nil }); err == nil {
+		t.Error("label name starting with a digit must be rejected")
+	}
+	if err := reg.Gauge("dup", "h", nil, func() []Sample { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Counter("dup", "h", nil, func() []Sample { return nil }); err == nil {
+		t.Error("duplicate registration must be rejected")
+	}
+}
+
+func TestServeMetricsOverHTTP(t *testing.T) {
+	reg := testRegistry(t)
+	addr, shutdown, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("wrong content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateExposition(body)
+	if err != nil {
+		t.Fatalf("live scrape does not validate: %v\n%s", err, body)
+	}
+	if n == 0 {
+		t.Fatal("live scrape has no samples")
+	}
+	// The pprof index must be mounted too.
+	pp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ returned %d", pp.StatusCode)
+	}
+}
+
+func TestValidateExposition(t *testing.T) {
+	valid := []byte(`# HELP a_metric doc
+# TYPE a_metric gauge
+a_metric 1
+a_metric{x="y z",q="esc\"aped"} 2.5e3
+# TYPE b_total counter
+b_total 7 1700000000
+`)
+	n, err := ValidateExposition(valid)
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("validated %d samples, want 3", n)
+	}
+	for name, bad := range map[string]string{
+		"no TYPE":       "orphan_metric 1\n",
+		"bad value":     "# TYPE m gauge\nm not_a_number\n",
+		"bad name":      "# TYPE 1m gauge\n1m 1\n",
+		"torn labels":   "# TYPE m gauge\nm{x=\"unterminated 1\n",
+		"unquoted":      "# TYPE m gauge\nm{x=y} 1\n",
+		"bad comment":   "# NONSENSE m\n",
+		"bad timestamp": "# TYPE m gauge\nm 1 soon\n",
+	} {
+		if _, err := ValidateExposition([]byte(bad)); err == nil {
+			t.Errorf("%s: invalid exposition accepted:\n%s", name, bad)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimingSwitch(t *testing.T) {
+	if TimingEnabled() {
+		t.Fatal("timing should be off by default")
+	}
+	EnableTiming(true)
+	if !TimingEnabled() {
+		t.Fatal("EnableTiming(true) did not stick")
+	}
+	EnableTiming(false)
+	if TimingEnabled() {
+		t.Fatal("EnableTiming(false) did not stick")
+	}
+}
+
+func TestRecorderRoundtrip(t *testing.T) {
+	r := NewRecorder(3, 64)
+	r.Emit(Event{Kind: "epoch", Name: "e1", Rank: 2, Start: 100, Dur: 50})
+	r.Emit(Event{Kind: "recovery", Name: "r1", Start: 200})
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("snapshot returned %d events, want 2", len(evs))
+	}
+	if evs[0].Proc != 3 || evs[1].Proc != 3 {
+		t.Errorf("recorder did not stamp its proc: %+v", evs)
+	}
+	if evs[0].Kind != "epoch" || evs[0].Rank != 2 || evs[0].Dur != 50 {
+		t.Errorf("event 0 mangled: %+v", evs[0])
+	}
+}
+
+func TestRecorderWrapKeepsRecentWindow(t *testing.T) {
+	r := NewRecorder(0, 1024) // minimum capacity
+	n := len(r.slots)
+	for i := 0; i < n+100; i++ {
+		r.Emit(Event{Kind: "k", Name: fmt.Sprintf("e%d", i), Start: int64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != n {
+		t.Fatalf("wrapped ring snapshot has %d events, want %d", len(evs), n)
+	}
+	// The oldest surviving event must be one of the most recent n.
+	for _, ev := range evs {
+		if ev.Start < 100 {
+			t.Fatalf("event %+v should have been overwritten by the wrap", ev)
+		}
+	}
+}
+
+func TestRecorderConcurrentEmitSnapshot(t *testing.T) {
+	r := NewRecorder(0, 1024)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Emit(Event{Kind: "k", Name: "n", Rank: g, Start: int64(i), Dur: 1})
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		for _, ev := range r.Snapshot() {
+			if ev.Kind != "k" || ev.Name != "n" {
+				t.Errorf("torn event escaped the ring: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestGlobalRecorderAndSpans(t *testing.T) {
+	if TraceEnabled() {
+		t.Fatal("tracing should be off by default")
+	}
+	if span := BeginSpan("epoch", "x", 0); span != nil {
+		t.Fatal("BeginSpan must return nil with tracing off")
+	}
+	Instant("k", "dropped", 0) // must be a no-op, not a panic
+
+	rec := StartTrace(5, 64)
+	if !TraceEnabled() {
+		t.Fatal("StartTrace did not install the recorder")
+	}
+	span := BeginSpan("epoch", "body", 1)
+	if span == nil {
+		t.Fatal("BeginSpan returned nil with tracing on")
+	}
+	time.Sleep(time.Millisecond)
+	span()
+	Instant("recovery", "mark", 0)
+	Span("reduce", "sum", 2, time.Now().Add(-time.Millisecond))
+	got := StopTrace()
+	if got != rec {
+		t.Fatal("StopTrace returned a different recorder")
+	}
+	if TraceEnabled() {
+		t.Fatal("StopTrace left tracing enabled")
+	}
+	evs := rec.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(evs))
+	}
+	byKind := map[string]Event{}
+	for _, ev := range evs {
+		byKind[ev.Kind] = ev
+		if ev.Proc != 5 {
+			t.Errorf("event not stamped with proc 5: %+v", ev)
+		}
+	}
+	if byKind["epoch"].Dur <= 0 {
+		t.Errorf("span has no duration: %+v", byKind["epoch"])
+	}
+	if byKind["recovery"].Dur != 0 {
+		t.Errorf("instant has a duration: %+v", byKind["recovery"])
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// traceEvent is one Chrome trace-event object ("X" complete spans and
+// "i" instants), the JSON schema Perfetto and chrome://tracing read.
+// Timestamps are microseconds; pid/tid lane the event under its
+// process and worker rank.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur,omitempty"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Scope string  `json:"s,omitempty"`
+}
+
+// traceFile is the top-level Chrome trace JSON document. OtherData
+// carries the wall-clock nanosecond the file's t=0 corresponds to, so
+// per-process part files can be merged back onto one timeline with
+// their true relative offsets (the kill → rollback → rejoin ordering
+// across processes is the whole point of a recovery trace).
+type traceFile struct {
+	TraceEvents []traceEvent      `json:"traceEvents"`
+	DisplayUnit string            `json:"displayTimeUnit"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// toTraceEvents converts recorded events to Chrome trace events with
+// timestamps rebased to baseNS (full wall-clock nanoseconds do not
+// survive the float64 microsecond field with sub-µs precision).
+func toTraceEvents(events []Event, baseNS int64) []traceEvent {
+	out := make([]traceEvent, 0, len(events))
+	for _, ev := range events {
+		te := traceEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind,
+			TS:   float64(ev.Start-baseNS) / 1e3,
+			PID:  ev.Proc,
+			TID:  ev.Rank,
+		}
+		if ev.Dur > 0 {
+			te.Phase = "X"
+			te.Dur = float64(ev.Dur) / 1e3
+		} else {
+			te.Phase = "i"
+			te.Scope = "p" // process-scoped instant marker
+		}
+		out = append(out, te)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// WriteTrace writes the events as a Chrome trace-event JSON file,
+// rebased so the earliest event sits at t=0 (the true offset is kept
+// in the file for MergeTraces).
+func WriteTrace(path string, events []Event) error {
+	var base int64
+	for i, ev := range events {
+		if i == 0 || ev.Start < base {
+			base = ev.Start
+		}
+	}
+	doc := traceFile{
+		TraceEvents: toTraceEvents(events, base),
+		DisplayUnit: "ms",
+		OtherData:   map[string]string{"baseNS": fmt.Sprintf("%d", base)},
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []traceEvent{}
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTraceEvents reads a Chrome trace JSON file back into recorded
+// events with absolute wall-clock timestamps restored from the file's
+// base offset. Used by the multi-process merge and by tests asserting
+// a trace's content.
+func ReadTraceEvents(path string) ([]Event, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc traceFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: %s is not a trace-event file: %w", path, err)
+	}
+	var base int64
+	if doc.OtherData != nil {
+		fmt.Sscanf(doc.OtherData["baseNS"], "%d", &base)
+	}
+	out := make([]Event, 0, len(doc.TraceEvents))
+	for _, te := range doc.TraceEvents {
+		out = append(out, Event{
+			Kind:  te.Cat,
+			Name:  te.Name,
+			Proc:  te.PID,
+			Rank:  te.TID,
+			Start: base + int64(te.TS*1e3),
+			Dur:   int64(te.Dur * 1e3),
+		})
+	}
+	return out, nil
+}
+
+// MergeTraces reads several per-process trace files and writes one
+// combined trace on a single realigned timeline, returning the merged
+// event count. Missing part files are skipped (a member that died
+// mid-job and never flushed still leaves a readable whole-job trace);
+// at least one part must exist.
+func MergeTraces(out string, parts []string) (int, error) {
+	var all []Event
+	found := 0
+	for _, p := range parts {
+		evs, err := ReadTraceEvents(p)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		found++
+		all = append(all, evs...)
+	}
+	if found == 0 {
+		return 0, fmt.Errorf("obs: none of the %d trace parts exist", len(parts))
+	}
+	return len(all), WriteTrace(out, all)
+}

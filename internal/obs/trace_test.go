@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTraceWriteReadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	in := []Event{
+		{Kind: "epoch", Name: "execute x4", Proc: 0, Rank: 0, Start: 1_000_000_000_000, Dur: 5_000_000},
+		{Kind: "reduce", Name: "reduce A", Proc: 0, Rank: 2, Start: 1_000_007_000_000, Dur: 1_000_000},
+		{Kind: "recovery", Name: "rollback", Proc: 1, Rank: 0, Start: 1_000_009_000_000},
+	}
+	if err := WriteTrace(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTraceEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	// The exporter sorts by start; timestamps are rebased through a
+	// microsecond float field, so they roundtrip to µs precision.
+	for i, ev := range out {
+		if ev.Kind != in[i].Kind || ev.Name != in[i].Name || ev.Proc != in[i].Proc || ev.Rank != in[i].Rank {
+			t.Errorf("event %d identity mangled: got %+v want %+v", i, ev, in[i])
+		}
+		if d := ev.Start - in[i].Start; d < -1000 || d > 1000 {
+			t.Errorf("event %d start drifted %dns through the roundtrip", i, d)
+		}
+		if d := ev.Dur - in[i].Dur; d < -1000 || d > 1000 {
+			t.Errorf("event %d duration drifted %dns", i, d)
+		}
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := WriteTrace(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTraceEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("empty trace read back %d events", len(evs))
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "t.p0.json")
+	p1 := filepath.Join(dir, "t.p1.json")
+	missing := filepath.Join(dir, "t.p2.json") // SIGKILLed member: never flushed
+	if err := WriteTrace(p0, []Event{
+		{Kind: "epoch", Name: "a", Proc: 0, Start: 2_000_000_000_000, Dur: 1000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(p1, []Event{
+		{Kind: "epoch", Name: "b", Proc: 1, Start: 2_000_500_000_000, Dur: 1000},
+		{Kind: "recovery", Name: "c", Proc: 1, Start: 2_001_000_000_000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "t.json")
+	n, err := MergeTraces(out, []string{p0, p1, missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("merged %d events, want 3", n)
+	}
+	evs, err := ReadTraceEvents(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("merged file has %d events, want 3", len(evs))
+	}
+	// Cross-process ordering must survive the merge: each part is
+	// rebased to its own t=0, so the merge must realign via baseNS.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("merged events out of order: %+v before %+v", evs[i-1], evs[i])
+		}
+	}
+	if evs[0].Name != "a" || evs[1].Name != "b" || evs[2].Name != "c" {
+		t.Fatalf("merged order wrong: %v %v %v", evs[0].Name, evs[1].Name, evs[2].Name)
+	}
+}
+
+func TestMergeTracesAllMissing(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := MergeTraces(filepath.Join(dir, "out.json"), []string{
+		filepath.Join(dir, "nope.p0.json"),
+	}); err == nil {
+		t.Fatal("merge of zero existing parts must fail")
+	}
+}
+
+func TestReadTraceEventsRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceEvents(path); err == nil {
+		t.Fatal("garbage file must not parse as a trace")
+	}
+}

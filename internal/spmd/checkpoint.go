@@ -3,9 +3,11 @@ package spmd
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"hpfnt/internal/ckpt"
 	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 )
 
 // Checkpoint snapshots the arrays and the job-wide counters into the
@@ -23,6 +25,11 @@ import (
 func (e *Engine) Checkpoint(dir string, epoch int, arrays []*Array) error {
 	if err := e.tr.Err(); err != nil {
 		return err
+	}
+	defer e.chargeCheckpoint(obs.Now())()
+	span := obs.BeginSpan("checkpoint", fmt.Sprintf("checkpoint@%d", epoch), 0)
+	if span != nil {
+		defer span()
 	}
 	ed := ckpt.EpochDir(dir, epoch)
 	var localErr error
@@ -45,8 +52,11 @@ func (e *Engine) Checkpoint(dir string, epoch int, arrays []*Array) error {
 			}
 		}
 	}
-	// Job-wide counter aggregate, same collective as Stats.
+	// Job-wide counter aggregate, same collective as Stats. The phase
+	// bank drains first so accumulated phase times ride the manifest
+	// and survive a restore like every other counter.
 	e.statsMu.Lock()
+	e.bank.drainInto(e.mach)
 	enc := e.mach.EncodeCounters()
 	cost := e.mach.Cost
 	e.statsMu.Unlock()
@@ -129,6 +139,11 @@ func (e *Engine) Restore(dir string, arrays []*Array) (int, error) {
 	if err := e.tr.Err(); err != nil {
 		return 0, err
 	}
+	defer e.chargeCheckpoint(obs.Now())()
+	span := obs.BeginSpan("restore", "restore", 0)
+	if span != nil {
+		defer span()
+	}
 	man, ed, err := ckpt.Latest(dir)
 	if err != nil {
 		return 0, err
@@ -163,6 +178,23 @@ func (e *Engine) Restore(dir string, arrays []*Array) (int, error) {
 	}
 	e.statsMu.Unlock()
 	return man.Epoch, nil
+}
+
+// chargeCheckpoint returns a closure charging the wall time since t0
+// as checkpoint phase. The dispatcher performs shard I/O on behalf of
+// every hosted rank, so the elapsed time splits evenly across them:
+// the job-wide checkpoint total then sums to roughly one collective
+// wall time per process, not per rank.
+func (e *Engine) chargeCheckpoint(t0 time.Time) func() {
+	if !obs.TimingEnabled() {
+		return func() {}
+	}
+	return func() {
+		per := int64(time.Since(t0)) / int64(len(e.local))
+		for _, p := range e.local {
+			e.bank.add(p, machine.PhaseCheckpoint, per)
+		}
+	}
 }
 
 // failErr returns the sticky transport error, or a description of the

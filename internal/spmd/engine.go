@@ -48,8 +48,10 @@ import (
 	"fmt"
 	gort "runtime"
 	"sync"
+	"time"
 
 	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 	"hpfnt/internal/transport"
 )
 
@@ -120,6 +122,10 @@ type Engine struct {
 	statsMu sync.Mutex
 
 	bar *Barrier
+	// bank accumulates per-worker phase wall time (barrier waits are
+	// recorded by the worker goroutines themselves); drained into mach
+	// under statsMu before every counter snapshot.
+	bank *phaseBank
 	// local lists the ranks hosted by this process, ascending;
 	// localSet is its membership grid (index 1..np).
 	local    []int
@@ -147,7 +153,7 @@ func NewOn(tr transport.Transport, cost machine.CostModel) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{np: np, tr: tr, mach: m}
+	e := &Engine{np: np, tr: tr, mach: m, bank: newPhaseBank(np)}
 	e.localSet = make([]bool, np+1)
 	for p := 1; p <= np; p++ {
 		if tr.HostOf(p) == tr.Self() {
@@ -192,9 +198,42 @@ func (e *Engine) Stats() machine.Report {
 	if e.tr.Procs() == 1 {
 		e.statsMu.Lock()
 		defer e.statsMu.Unlock()
+		e.bank.drainInto(e.mach)
 		return e.mach.Stats()
 	}
+	return e.aggregate().Stats()
+}
+
+// DetailStats snapshots the job-wide per-worker detail (load vector,
+// traffic matrix, phase times). The same collective contract as
+// Stats: on a multi-process transport every process must call it at
+// the same point of the replicated control flow.
+func (e *Engine) DetailStats() machine.Detail {
+	if e.tr.Procs() == 1 {
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+		e.bank.drainInto(e.mach)
+		return e.mach.Detail()
+	}
+	return e.aggregate().Detail()
+}
+
+// LocalDetail snapshots this process's share of the counters without
+// any collective. Unlike every other counter accessor it is safe to
+// call from any goroutine at any time — it is the feed for the live
+// /metrics endpoint, which scrapes while epochs are running.
+func (e *Engine) LocalDetail() machine.Detail {
 	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.bank.drainInto(e.mach)
+	return e.mach.Detail()
+}
+
+// aggregate merges every process's counter share into one job-wide
+// machine (the Bcast collective behind Stats and DetailStats).
+func (e *Engine) aggregate() *machine.Machine {
+	e.statsMu.Lock()
+	e.bank.drainInto(e.mach)
 	enc := e.mach.EncodeCounters()
 	cost := e.mach.Cost
 	e.statsMu.Unlock()
@@ -215,7 +254,7 @@ func (e *Engine) Stats() machine.Report {
 			panic(fmt.Sprintf("spmd: merging remote counters: %v", err))
 		}
 	}
-	return agg.Stats()
+	return agg
 }
 
 // Reset clears this process's counters (every process of a job calls
@@ -250,7 +289,7 @@ func (e *Engine) Close() error {
 func (e *Engine) start() {
 	e.startOnce.Do(func() {
 		e.workers = make([]chan func(p int), e.np)
-		bar, tr := e.bar, e.tr
+		bar, tr, bank := e.bar, e.tr, e.bank
 		for _, p := range e.local {
 			cmd := make(chan func(p int))
 			e.workers[p-1] = cmd
@@ -262,7 +301,13 @@ func (e *Engine) start() {
 					// Engine), preventing the finalizer backstop from
 					// ever collecting an unclosed engine.
 					job = nil
-					bar.Await()
+					if obs.TimingEnabled() {
+						t0 := time.Now()
+						bar.Await()
+						bank.add(p, machine.PhaseBarrierWait, int64(time.Since(t0)))
+					} else {
+						bar.Await()
+					}
 				}
 			}(p)
 		}
@@ -323,6 +368,10 @@ type counters struct {
 	// of elems elements each (schedule replays call Send per
 	// iteration, matching the sequential executor's accounting).
 	sends []sendCount
+	// phase holds the worker's wall time per phase for this epoch, in
+	// nanoseconds; nil when phase timing is disabled so the hot paths
+	// never touch the clock.
+	phase *phaseTally
 }
 
 type sendCount struct {
@@ -349,5 +398,12 @@ func (e *Engine) flush(p int, c *counters) {
 			e.mach.Send(p, s.dst, s.elems)
 		}
 		e.mach.AddWireFrames(s.frames)
+	}
+	if c.phase != nil {
+		for ph, ns := range c.phase {
+			if ns > 0 {
+				e.mach.AddPhaseNS(p, machine.Phase(ph), ns)
+			}
+		}
 	}
 }

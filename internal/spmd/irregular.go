@@ -2,8 +2,11 @@ package spmd
 
 import (
 	"fmt"
+	"time"
 
 	"hpfnt/internal/inspector"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 )
 
 // IrregularSchedule is the spmd engine's executor side of the
@@ -166,18 +169,25 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 		}
 	}
 	e := s.eng
-	return e.run(func(p int) {
+	timing := obs.TimingEnabled()
+	span := obs.BeginSpan("epoch", fmt.Sprintf("irregular x%d", iters), 0)
+	err := e.run(func(p int) {
 		wp := s.plans[p]
 		if wp == nil {
 			return
 		}
+		var tally *phaseTally
+		if timing {
+			tally = new(phaseTally)
+		}
 		for it := 0; it < iters; it++ {
-			wp.step(e, p, it == 0 || !s.constGhost)
+			wp.step(e, p, it == 0 || !s.constGhost, tally)
 		}
 		c := counters{
 			load:       wp.load * iters,
 			localRefs:  wp.localRefs * iters,
 			remoteRefs: wp.remoteRefs * iters,
+			phase:      tally,
 		}
 		frames := iters
 		if s.constGhost {
@@ -188,6 +198,10 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 		}
 		e.flush(p, &c)
 	})
+	if span != nil {
+		span()
+	}
+	return err
 }
 
 // step is one worker's iteration: gather-and-send the owned halo
@@ -195,7 +209,12 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 // store (all reads precede every store, Fortran array-assignment
 // semantics). With comm false (a coalesced replay) the halo exchange
 // is skipped and the epoch's first scattered ghost buffer is reused.
-func (wp *iplan) step(e *Engine, p int, comm bool) {
+// A non-nil tally splits the wall time into ghost-wait and compute.
+func (wp *iplan) step(e *Engine, p int, comm bool, tally *phaseTally) {
+	var t0 time.Time
+	if tally != nil {
+		t0 = time.Now()
+	}
 	if comm {
 		for i := range wp.sends {
 			sp := &wp.sends[i]
@@ -212,6 +231,11 @@ func (wp *iplan) step(e *Engine, p int, comm bool) {
 				wp.ghost[rp.targets[k]] = v
 			}
 		}
+		if tally != nil {
+			now := time.Now()
+			tally[machine.PhaseGhostWait] += int64(now.Sub(t0))
+			t0 = now
+		}
 	}
 	for i := range wp.acc {
 		wp.acc[i] = 0
@@ -227,5 +251,8 @@ func (wp *iplan) step(e *Engine, p int, comm bool) {
 	}
 	for i, sl := range wp.outSlots {
 		wp.lhsData[sl] = wp.acc[i]
+	}
+	if tally != nil {
+		tally[machine.PhaseCompute] += int64(time.Since(t0))
 	}
 }

@@ -1,0 +1,50 @@
+package spmd
+
+import (
+	"sync/atomic"
+
+	"hpfnt/internal/machine"
+)
+
+// phaseBank is the per-worker phase-time accumulator shared between
+// the worker goroutines and the dispatcher: a flat slice of atomics
+// indexed phase-major like machine's phase block. Workers add wall
+// time lock-free (the barrier-wait slice is recorded outside any
+// epoch, where the statsMu flush path is unavailable), and the
+// dispatcher drains it into the machine under statsMu before every
+// counter snapshot. The bank holds no reference to the Engine, so the
+// worker goroutines capturing it keep the finalizer backstop intact.
+type phaseBank struct {
+	stride int
+	ns     []int64
+}
+
+func newPhaseBank(np int) *phaseBank {
+	return &phaseBank{stride: np + 1, ns: make([]int64, machine.NumPhases*(np+1))}
+}
+
+// add charges ns nanoseconds of phase ph to worker p.
+func (b *phaseBank) add(p int, ph machine.Phase, ns int64) {
+	if ns <= 0 {
+		return
+	}
+	atomic.AddInt64(&b.ns[int(ph)*b.stride+p], ns)
+}
+
+// drainInto moves the accumulated times into m (caller holds the
+// machine's lock). Swap-to-zero keeps late worker adds: a barrier
+// wait recorded after this drain simply lands in the next snapshot.
+func (b *phaseBank) drainInto(m *machine.Machine) {
+	for ph := 0; ph < machine.NumPhases; ph++ {
+		for p := 1; p < b.stride; p++ {
+			if v := atomic.SwapInt64(&b.ns[ph*b.stride+p], 0); v != 0 {
+				m.AddPhaseNS(p, machine.Phase(ph), v)
+			}
+		}
+	}
+}
+
+// phaseTally is a worker job's local phase tally, folded into its
+// counters flush. Nil when phase timing is disabled, which is how the
+// hot paths skip the clock entirely.
+type phaseTally [machine.NumPhases]int64

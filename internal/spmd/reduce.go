@@ -2,7 +2,10 @@ package spmd
 
 import (
 	"fmt"
+	"time"
 
+	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 	"hpfnt/internal/runtime"
 )
 
@@ -72,10 +75,16 @@ func (e *Engine) Reduce(a *Array, op runtime.ReduceOp) (float64, error) {
 		return cur
 	}
 	var result float64
+	timing := obs.TimingEnabled()
+	span := obs.BeginSpan("reduce", fmt.Sprintf("reduce %s", a.name), 0)
 	err := e.run(func(p int) {
 		sl := slots[p]
 		if len(sl) == 0 {
 			return
+		}
+		var t0 time.Time
+		if timing {
+			t0 = time.Now()
 		}
 		// sl is in ascending global-offset order (the append walk
 		// above), which is the fold order defining the float result.
@@ -99,8 +108,16 @@ func (e *Engine) Reduce(a *Array, op runtime.ReduceOp) (float64, error) {
 			// Published to the dispatcher through the epoch barrier.
 			result = partial
 		}
+		if timing {
+			var tally phaseTally
+			tally[machine.PhaseReduce] = int64(time.Since(t0))
+			c.phase = &tally
+		}
 		e.flush(p, &c)
 	})
+	if span != nil {
+		span()
+	}
 	if err != nil {
 		return 0, err
 	}

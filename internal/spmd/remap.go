@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hpfnt/internal/core"
+	"hpfnt/internal/obs"
 	"hpfnt/internal/runtime"
 )
 
@@ -103,6 +104,7 @@ func (e *Engine) Remap(a *Array, newMap core.ElementMapping) (int, error) {
 		rp := planOf(pr[1])
 		rp.recvs = append(rp.recvs, rrecv{src: pr[0], newSlots: pl.newSlots})
 	}
+	span := obs.BeginSpan("remap", fmt.Sprintf("remap %s", a.name), 0)
 	oldLay := a.lay
 	err = e.run(func(p int) {
 		oldData := oldLay.stores[p].data
@@ -135,6 +137,9 @@ func (e *Engine) Remap(a *Array, newMap core.ElementMapping) (int, error) {
 			e.flush(p, &c)
 		}
 	})
+	if span != nil {
+		span()
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -3,8 +3,11 @@ package spmd
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hpfnt/internal/index"
+	"hpfnt/internal/machine"
+	"hpfnt/internal/obs"
 )
 
 // Term is one right-hand-side reference Coeff * Src(t + Shift).
@@ -304,21 +307,28 @@ func (s *Schedule) ExecuteN(iters int) error {
 		}
 	}
 	e := s.eng
-	return e.run(func(p int) {
+	timing := obs.TimingEnabled()
+	span := obs.BeginSpan("epoch", fmt.Sprintf("execute x%d", iters), 0)
+	err := e.run(func(p int) {
 		wp := s.plans[p]
 		if wp == nil {
 			return
+		}
+		var tally *phaseTally
+		if timing {
+			tally = new(phaseTally)
 		}
 		for it := 0; it < iters; it++ {
 			// Coalescing: a constGhost statement exchanges ghosts only
 			// on the first iteration of the epoch; the scattered buffer
 			// stays valid for the replays.
-			wp.step(e, p, it == 0 || !s.constGhost)
+			wp.step(e, p, it == 0 || !s.constGhost, tally)
 		}
 		c := counters{
 			load:       wp.load * iters,
 			localRefs:  wp.localRefs * iters,
 			remoteRefs: wp.remoteRefs * iters,
+			phase:      tally,
 		}
 		frames := iters
 		if s.constGhost {
@@ -329,6 +339,10 @@ func (s *Schedule) ExecuteN(iters int) error {
 		}
 		e.flush(p, &c)
 	})
+	if span != nil {
+		span()
+	}
+	return err
 }
 
 // step is one worker's iteration: gather-and-send all outgoing ghost
@@ -336,8 +350,13 @@ func (s *Schedule) ExecuteN(iters int) error {
 // the temporary and store (whole-statement evaluation before any
 // store, Fortran array-assignment semantics). With comm false (a
 // coalesced replay) the exchange is skipped and the ghost buffer
-// scattered on the epoch's first iteration is reused.
-func (wp *wplan) step(e *Engine, p int, comm bool) {
+// scattered on the epoch's first iteration is reused. A non-nil tally
+// splits the iteration's wall time into ghost-wait and compute.
+func (wp *wplan) step(e *Engine, p int, comm bool, tally *phaseTally) {
+	var t0 time.Time
+	if tally != nil {
+		t0 = time.Now()
+	}
 	if comm {
 		for i := range wp.sends {
 			sp := &wp.sends[i]
@@ -353,6 +372,11 @@ func (wp *wplan) step(e *Engine, p int, comm bool) {
 			for k, v := range msg {
 				wp.ghost[rp.targets[k]] = v
 			}
+		}
+		if tally != nil {
+			now := time.Now()
+			tally[machine.PhaseGhostWait] += int64(now.Sub(t0))
+			t0 = now
 		}
 	}
 	T := wp.nterms
@@ -373,6 +397,9 @@ func (wp *wplan) step(e *Engine, p int, comm bool) {
 	}
 	for i, sl := range wp.lhsSlots {
 		wp.lhsData[sl] = wp.tmp[i]
+	}
+	if tally != nil {
+		tally[machine.PhaseCompute] += int64(time.Since(t0))
 	}
 }
 

@@ -104,6 +104,23 @@ func (t *chaos) Err() error                               { return t.inner.Err()
 func (t *chaos) Status() Health                           { return t.inner.Status() }
 func (t *chaos) Close() error                             { return t.inner.Close() }
 
+// Wire passes through the inner wire's counters (zero when the inner
+// transport does not meter itself).
+func (t *chaos) Wire() WireStats {
+	if wc, ok := t.inner.(WireCounter); ok {
+		return wc.Wire()
+	}
+	return WireStats{}
+}
+
+// Staleness passes through the inner wire's heartbeat view.
+func (t *chaos) Staleness() []time.Duration {
+	if hs, ok := t.inner.(HeartbeatStats); ok {
+		return hs.Staleness()
+	}
+	return make([]time.Duration, t.inner.Procs())
+}
+
 // armed reports whether scripted faults apply at the inner
 // transport's current generation.
 func (t *chaos) armed() bool {

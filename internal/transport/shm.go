@@ -176,6 +176,7 @@ type shm struct {
 	gen             int
 	fb              *failBox
 	closed          atomic.Bool
+	wireTally
 
 	path   string
 	unlink bool
@@ -670,14 +671,18 @@ func (t *shm) Send(src, dst int, msg []float64) {
 			r.push(hdr[:])
 			r.push(payload)
 			r.pmu.Unlock()
+			t.countSend(int64(4 + len(payload)))
 			return
 		}
 	}
 	// Slow path: the receiver is behind (or a huge frame); spill and
-	// let the pump stream it in so Send never blocks.
+	// let the pump stream it in so Send never blocks. A spill is the
+	// shm wire's stall signal: the ring was full.
 	r.pending = append(r.pending, hdr[:]...)
 	r.pending = append(r.pending, payload...)
 	r.pmu.Unlock()
+	t.countStall()
+	t.countSend(int64(4 + len(payload)))
 	t.markDirty(r)
 }
 
@@ -692,11 +697,13 @@ func (t *shm) Recv(src, dst int) []float64 {
 	n := binary.LittleEndian.Uint32(hdr[:])
 	out := make([]float64, n/8)
 	if n == 0 {
+		t.countRecv(4)
 		return out
 	}
 	if !t.readFull(r, floatBytes(out)) {
 		return nil
 	}
+	t.countRecv(int64(4 + n))
 	return out
 }
 
@@ -822,6 +829,22 @@ func (t *shm) Status() Health {
 		h.Alive[p] = false
 	}
 	return h
+}
+
+// Staleness reports time since each peer's liveness stamp was last
+// refreshed (HeartbeatStats).
+func (t *shm) Staleness() []time.Duration {
+	out := make([]time.Duration, t.procs)
+	now := time.Now().UnixNano()
+	for p := range out {
+		if p == t.self || t.procs == 1 || t.closed.Load() || t.live == nil {
+			continue
+		}
+		if st := atomic.LoadUint64(t.live[p]); st != 0 {
+			out[p] = time.Duration(now - int64(st))
+		}
+	}
+	return out
 }
 
 // killAbrupt emulates a SIGKILL for the chaos wire: the liveness

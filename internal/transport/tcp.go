@@ -226,7 +226,8 @@ func decodeHello(body []byte) (hello, error) {
 // still crosses a real socket, exercising the framing, encoding and
 // demux paths end to end.
 type tcpTransport struct {
-	cfg    TCPConfig
+	cfg TCPConfig
+	wireTally
 	ln     net.Listener
 	conns  []*tconn // by peer process index; conns[Self] is nil
 	loop   *tconn   // loopback write side (single-process mode only)
@@ -690,6 +691,7 @@ func (t *tcpTransport) readLoop(peer int, c *tconn, br *bufio.Reader) {
 		if peer >= 0 {
 			t.lastHeard[peer].Store(time.Now().UnixNano())
 		}
+		t.countRecv(int64(5 + len(body)))
 		switch kind {
 		case frameHeart:
 			// Liveness only; the stamp above is the payload.
@@ -767,7 +769,9 @@ func (t *tcpTransport) sendFrame(peer int, c *tconn, kind byte, body []byte) {
 				t.Fail(fmt.Errorf("transport: job %q write: %w", t.cfg.Job, err))
 			}
 		}
+		return
 	}
+	t.countSend(int64(5 + len(body)))
 }
 
 func (t *tcpTransport) Send(src, dst int, msg []float64) {
@@ -868,6 +872,21 @@ func (t *tcpTransport) Status() Health {
 		h.Alive[p] = false
 	}
 	return h
+}
+
+// Staleness reports time since each peer's last frame (HeartbeatStats).
+func (t *tcpTransport) Staleness() []time.Duration {
+	out := make([]time.Duration, t.cfg.Procs)
+	now := time.Now().UnixNano()
+	for i := range out {
+		if i == t.cfg.Self || t.cfg.Procs == 1 {
+			continue
+		}
+		if last := t.lastHeard[i].Load(); last > 0 {
+			out[i] = time.Duration(now - last)
+		}
+	}
+	return out
 }
 
 // killAbrupt emulates a SIGKILL for the chaos wire: every socket is

@@ -39,7 +39,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"hpfnt/internal/obs"
 )
 
 // Kinds of transport.
@@ -118,6 +121,66 @@ func (h Health) Lost() []int {
 		}
 	}
 	return out
+}
+
+// WireStats is a point-in-time snapshot of a transport's physical
+// wire activity: frames and payload bytes actually moved (after any
+// schedule-level coalescing), plus fast-path stall events — ring-full
+// spins on the shm wire, capacity backpressure blocks on inproc.
+// These are physical-layer counters, deliberately outside the
+// machine's logical cost model: two wires running the same job report
+// identical machine.Reports but different WireStats.
+type WireStats struct {
+	FramesSent, FramesRecv int64
+	BytesSent, BytesRecv   int64
+	Stalls                 int64
+}
+
+// WireCounter is implemented by transports that meter their wire;
+// the live /metrics endpoint surfaces the counters when present.
+type WireCounter interface {
+	Wire() WireStats
+}
+
+// HeartbeatStats is implemented by the failure-detecting wires (tcp,
+// shm): Staleness reports, per process, the time since that member's
+// last sign of life — a heartbeat frame or data on the tcp wire, a
+// fresh liveness stamp on shm. Self entries are zero. Staleness
+// approaching the wire's failure threshold is the early-warning
+// metric the /metrics endpoint exposes.
+type HeartbeatStats interface {
+	Staleness() []time.Duration
+}
+
+// wireTally is the shared lock-free WireStats implementation the
+// transports embed.
+type wireTally struct {
+	framesSent, framesRecv atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
+	stalls                 atomic.Int64
+}
+
+func (w *wireTally) countSend(bytes int64) {
+	w.framesSent.Add(1)
+	w.bytesSent.Add(bytes)
+}
+
+func (w *wireTally) countRecv(bytes int64) {
+	w.framesRecv.Add(1)
+	w.bytesRecv.Add(bytes)
+}
+
+func (w *wireTally) countStall() { w.stalls.Add(1) }
+
+// Wire snapshots the counters (WireCounter).
+func (w *wireTally) Wire() WireStats {
+	return WireStats{
+		FramesSent: w.framesSent.Load(),
+		FramesRecv: w.framesRecv.Load(),
+		BytesSent:  w.bytesSent.Load(),
+		BytesRecv:  w.bytesRecv.Load(),
+		Stalls:     w.stalls.Load(),
+	}
 }
 
 // MemberLostError is the sticky failure reported when a member
@@ -212,7 +275,10 @@ type failBox struct {
 func newFailBox() *failBox { return &failBox{stop: make(chan struct{})} }
 
 // fail records err (first one wins) and closes the stop channel.
-// Reports whether this call was the first failure.
+// Reports whether this call was the first failure. The first failure
+// is also the one observability event worth recording: every wire's
+// detection path funnels through here, so a trace shows exactly one
+// member-lost (or fail) instant per transport incarnation.
 func (f *failBox) fail(err error) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -221,6 +287,13 @@ func (f *failBox) fail(err error) bool {
 	}
 	f.err = err
 	close(f.stop)
+	if obs.TraceEnabled() {
+		if proc, ok := AsMemberLost(err); ok {
+			obs.Instant("member-lost", fmt.Sprintf("member %d lost: %v", proc, err), 0)
+		} else {
+			obs.Instant("fail", fmt.Sprintf("transport failed: %v", err), 0)
+		}
+	}
 	return true
 }
 
@@ -240,6 +313,7 @@ type inproc struct {
 	np    int
 	chans [][]chan []float64
 	fb    *failBox
+	wireTally
 }
 
 // NewInproc creates the in-process transport over np ranks.
@@ -267,8 +341,19 @@ func (t *inproc) Send(src, dst int, msg []float64) {
 		return // failed transport: drop
 	default:
 	}
+	ch := t.chans[src-1][dst-1]
+	// Try the uncontended path first so the backpressure block is
+	// visible as a stall in the wire counters.
 	select {
-	case t.chans[src-1][dst-1] <- msg:
+	case ch <- msg:
+		t.countSend(int64(8 * len(msg)))
+		return
+	default:
+	}
+	t.countStall()
+	select {
+	case ch <- msg:
+		t.countSend(int64(8 * len(msg)))
 	case <-t.fb.stop:
 	}
 }
@@ -279,15 +364,18 @@ func (t *inproc) Recv(src, dst int) []float64 {
 	// already in the stream is delivered even after Fail.
 	select {
 	case msg := <-ch:
+		t.countRecv(int64(8 * len(msg)))
 		return msg
 	default:
 	}
 	select {
 	case msg := <-ch:
+		t.countRecv(int64(8 * len(msg)))
 		return msg
 	case <-t.fb.stop:
 		select {
 		case msg := <-ch:
+			t.countRecv(int64(8 * len(msg)))
 			return msg
 		default:
 			return nil
