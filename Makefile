@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm race-recovery node-smoke node-smoke-shm node-recovery node-recovery-shm obs-smoke obs-recovery-trace bench bench-snapshot bench-gate speedup amortization overhead fuzz fuzz-engine fuzz-irregular docs
+.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm race-recovery node-smoke node-smoke-shm node-recovery node-recovery-shm run-smoke run-smoke-shm obs-smoke obs-recovery-trace bench bench-snapshot bench-gate speedup amortization overhead corpus fuzz fuzz-engine fuzz-irregular fuzz-interp docs
 
 check: fmt vet build test docs
 
@@ -75,6 +75,17 @@ node-recovery-shm:
 	$(GO) run ./cmd/hpfnode -spawn -procs 4 -np 8 -transport shm -workload heat -n 48 -iters 12 \
 		-checkpoint-every 3 -retries 4 -heartbeat 25ms -kill-proc 2
 
+# hpfrun multi-process smoke: the interpreted quickstart program as a
+# real 3-process tcp job; the leader re-runs the program on the
+# in-process engine and verifies output, values and machine.Report.
+run-smoke:
+	$(GO) run ./cmd/hpfrun -spawn -procs 3 -transport tcp examples/quickstart.hpf
+
+# The same interpreted job over the shm wire, on the corpus program
+# that exercises the INDIRECT gather/scatter path.
+run-smoke-shm:
+	$(GO) run ./cmd/hpfrun -spawn -procs 2 -transport shm internal/interp/testdata/programs/gather.hpf
+
 # Observability smoke: a 2-process job with the full stack live —
 # phase timers, per-process /metrics endpoints (each process
 # self-scrapes and validates its own exposition text at exit), the
@@ -148,3 +159,18 @@ fuzz-engine:
 # Differential fuzz of the irregular (inspector–executor) path.
 fuzz-irregular:
 	$(GO) test -run xxx -fuzz FuzzIrregularEquivalence -fuzztime 30s ./internal/engine
+
+# The golden corpus differential under the race detector: every
+# program in internal/interp/testdata/programs must produce
+# byte-identical output, values and logical report on {sim,spmd} x
+# {inproc,shm,tcp}, plus the interp-vs-handwritten oracle test.
+# Regenerate goldens with: go test ./internal/interp -run TestCorpusGolden -update
+corpus:
+	$(GO) test -race -count=1 -run 'TestCorpus|TestInterp|TestRedistribute' ./internal/interp
+
+# Fuzz the program front end: arbitrary text must never panic or hang
+# the interpreter, and generated well-formed programs must be
+# identical on the spmd engine and the sequential oracle.
+fuzz-interp:
+	$(GO) test -run xxx -fuzz FuzzDirectiveProgram -fuzztime 30s ./internal/interp
+	$(GO) test -run xxx -fuzz FuzzInterpEquivalence -fuzztime 30s ./internal/interp

@@ -12,7 +12,8 @@
 //
 // Flags:
 //
-//	-np N        number of abstract processors (default 16)
+//	-np N        number of abstract processors (default: the
+//	             program's !hpfrun: line, else 16)
 //	-param K=V   define an integer parameter (repeatable, comma list)
 //	-owners A    print the per-element owner table of array A
 //	-vienna      use the Vienna Fortran BLOCK definition
@@ -24,15 +25,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"hpfnt/hpf"
 	"hpfnt/internal/inquiry"
+	"hpfnt/internal/interp"
 )
 
 var (
-	np        = flag.Int("np", 16, "number of abstract processors")
+	np        = flag.Int("np", 0, "number of abstract processors (0: the program's !hpfrun: line, else 16)")
 	params    = flag.String("param", "", "comma-separated K=V integer parameters")
 	owners    = flag.String("owners", "", "print the owner table of this array")
 	vienna    = flag.Bool("vienna", false, "use the Vienna Fortran BLOCK definition")
@@ -45,49 +46,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: hpfmap [flags] program.hpf  (use - for stdin)")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0)); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *np, *params, *owners, *vienna, *templates); err != nil {
 		fmt.Fprintf(os.Stderr, "hpfmap: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string) error {
-	var src []byte
-	var err error
-	if path == "-" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		src, err = os.ReadFile(path)
-	}
+// run loads the program through the shared front-end loader (package
+// interp) and writes the mapping report.
+func run(w io.Writer, path string, np int, params, owners string, vienna, templates bool) error {
+	src, err := interp.ReadSource(path)
 	if err != nil {
 		return err
 	}
-	prog, err := hpf.NewProgram("main", *np)
+	cfg := interp.Config{
+		NP:        np,
+		Engine:    "sim",
+		Vienna:    vienna,
+		Templates: templates,
+		Params:    map[string]int{},
+	}
+	if err := interp.ParseParams(params, cfg.Params); err != nil {
+		return err
+	}
+	if err := interp.ScanFileOptions(src, &cfg); err != nil {
+		return err
+	}
+	if cfg.NP == 0 {
+		cfg.NP = 16
+	}
+	prog, err := cfg.NewProgram()
 	if err != nil {
 		return err
 	}
-	prog.UseViennaBlock(*vienna)
-	if *templates {
-		prog.EnableTemplates()
+	defer prog.Close()
+	// hpfmap reports the mapping only, so executable statements are
+	// irrelevant here — but corpus programs contain them. Feed the
+	// directive interpreter just the lines it owns.
+	if err := prog.Exec(directiveLines(src)); err != nil {
+		return err
 	}
-	if *params != "" {
-		for _, kv := range strings.Split(*params, ",") {
-			parts := strings.SplitN(kv, "=", 2)
-			if len(parts) != 2 {
-				return fmt.Errorf("bad -param entry %q", kv)
-			}
-			v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
-			if err != nil {
-				return fmt.Errorf("bad -param value %q: %w", kv, err)
-			}
-			prog.SetParam(strings.TrimSpace(parts[0]), v)
+	return describe(w, prog, cfg.NP, owners)
+}
+
+// directiveLines filters a program down to the declaration and
+// mapping statements package directive understands, dropping the
+// executable statements handled by package interp.
+func directiveLines(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if interp.IsDirectiveLine(line) {
+			b.WriteString(line)
+			b.WriteByte('\n')
 		}
 	}
-	if err := prog.Exec(string(src)); err != nil {
-		return err
-	}
+	return b.String()
+}
 
-	fmt.Println(prog.Unit.Describe())
+// describe writes the mapping report: alignment forest, per-array
+// inquiry and per-processor element counts, and the optional owner
+// table.
+func describe(w io.Writer, prog *hpf.Program, np int, owners string) error {
+	fmt.Fprintln(w, prog.Unit.Describe())
 	for _, name := range prog.Unit.Names() {
 		a, _ := prog.Unit.Array(name)
 		if !a.Created {
@@ -95,11 +115,11 @@ func run(path string) error {
 		}
 		m, err := prog.MappingOf(name)
 		if err != nil {
-			fmt.Printf("%s: %v\n", name, err)
+			fmt.Fprintf(w, "%s: %v\n", name, err)
 			continue
 		}
 		info := inquiry.Describe(m)
-		fmt.Printf("%-12s %s\n", name, info.Render())
+		fmt.Fprintf(w, "%-12s %s\n", name, info.Render())
 		counts := map[int]int{}
 		var cerr error
 		m.Domain().ForEach(func(t hpf.Tuple) bool {
@@ -116,22 +136,22 @@ func run(path string) error {
 		if cerr != nil {
 			return cerr
 		}
-		fmt.Printf("%-12s per-processor elements:", "")
-		for p := 1; p <= *np; p++ {
+		fmt.Fprintf(w, "%-12s per-processor elements:", "")
+		for p := 1; p <= np; p++ {
 			if counts[p] > 0 {
-				fmt.Printf(" %d:%d", p, counts[p])
+				fmt.Fprintf(w, " %d:%d", p, counts[p])
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	if *owners != "" {
-		name := strings.ToUpper(*owners)
+	if owners != "" {
+		name := strings.ToUpper(owners)
 		m, err := prog.MappingOf(name)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nowner table of %s over %s:\n", name, m.Domain())
+		fmt.Fprintf(w, "\nowner table of %s over %s:\n", name, m.Domain())
 		var oerr error
 		m.Domain().ForEach(func(t hpf.Tuple) bool {
 			os, err := m.Owners(t)
@@ -139,7 +159,7 @@ func run(path string) error {
 				oerr = err
 				return false
 			}
-			fmt.Printf("  %s -> %v\n", t, os)
+			fmt.Fprintf(w, "  %s -> %v\n", t, os)
 			return true
 		})
 		if oerr != nil {

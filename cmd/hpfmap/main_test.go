@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMapCorpusProgram maps a corpus program end to end and checks
+// the owner output: hpfmap must honor the file's embedded !hpfrun:
+// options and report every declared array's mapping.
+func TestMapCorpusProgram(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, "../../internal/interp/testdata/programs/jacobi.hpf", 0, "", "", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"U", "V", "per-processor elements:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	// jacobi pins -np 4 in its !hpfrun: line; BLOCK rows over 32 gives
+	// 8 rows x 32 cols = 256 elements on each of the 4 processors.
+	if !strings.Contains(out, "1:256 2:256 3:256 4:256") {
+		t.Errorf("expected 4-way block counts in output:\n%s", out)
+	}
+}
+
+// TestMapOwnersTable checks the per-element owner table path on an
+// INDIRECT-distributed corpus program.
+func TestMapOwnersTable(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, "../../internal/interp/testdata/programs/gather.hpf", 0, "", "X", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "owner table of X") {
+		t.Fatalf("missing owner table:\n%s", out)
+	}
+	// OWN = (/1,3,2,4,.../) pins element 1 to processor 1 and element
+	// 2 to processor 3.
+	if !strings.Contains(out, "(1) -> [1]") || !strings.Contains(out, "(2) -> [3]") {
+		t.Errorf("owner table does not reflect the INDIRECT map:\n%s", out)
+	}
+}
+
+// TestMapExplicitFlagsWin checks that an explicit -np overrides the
+// file's !hpfrun: line.
+func TestMapExplicitFlagsWin(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, "../../internal/interp/testdata/programs/align.hpf", 8, "", "", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file pins -np 4; the explicit 8 must win (P(4) still fits,
+	// BLOCK over the 4-processor arrangement gives 16 elements each).
+	if !strings.Contains(b.String(), "1:16 2:16 3:16 4:16") {
+		t.Errorf("expected 4-way split of A(1:64) under -np 8:\n%s", b.String())
+	}
+}

@@ -203,6 +203,31 @@ func NewProgramTransport(name, kind, transportKind string, np int, cost machine.
 	}, nil
 }
 
+// NewProgramOn creates a program over an existing execution engine —
+// typically a multi-process spmd engine built with engine.NewSPMDOn
+// over a joined transport (cmd/hpfrun's -spawn mode). The program
+// takes ownership of the engine: Close closes it.
+func NewProgramOn(name string, eng engine.Engine) (*Program, error) {
+	sys, err := proc.NewSystem(eng.NP())
+	if err != nil {
+		return nil, err
+	}
+	unit := core.NewUnit(name, sys)
+	return &Program{
+		Unit:    unit,
+		Machine: eng.Machine(),
+		Interp:  directive.New(unit),
+		eng:     eng,
+		sys:     sys,
+	}, nil
+}
+
+// Engines lists the available execution backends.
+func Engines() []string { return engine.Kinds() }
+
+// Transports lists the available spmd message transports.
+func Transports() []string { return engine.Transports() }
+
 // EngineKind reports the program's execution backend.
 func (p *Program) EngineKind() string { return p.eng.Kind() }
 

@@ -15,80 +15,89 @@ import (
 	"unicode"
 )
 
-// tokKind classifies lexical tokens.
-type tokKind int
+// TokKind classifies lexical tokens.
+type TokKind int
 
 const (
-	tokEOF tokKind = iota
-	tokIdent
-	tokNumber
-	tokLParen
-	tokRParen
-	tokComma
-	tokColon
-	tokDoubleColon
-	tokStar
-	tokPlus
-	tokMinus
-	tokSlash
-	tokAssign
-	tokSlashParen // "(/" opening an array constructor
-	tokParenSlash // "/)" closing an array constructor
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokLParen
+	TokRParen
+	TokComma
+	TokColon
+	TokDoubleColon
+	TokStar
+	TokPlus
+	TokMinus
+	TokSlash
+	TokAssign
+	TokSlashParen // "(/" opening an array constructor
+	TokParenSlash // "/)" closing an array constructor
 )
 
-func (k tokKind) String() string {
+func (k TokKind) String() string {
 	switch k {
-	case tokEOF:
+	case TokEOF:
 		return "end of line"
-	case tokIdent:
+	case TokIdent:
 		return "identifier"
-	case tokNumber:
+	case TokNumber:
 		return "number"
-	case tokLParen:
+	case TokLParen:
 		return "'('"
-	case tokRParen:
+	case TokRParen:
 		return "')'"
-	case tokComma:
+	case TokComma:
 		return "','"
-	case tokColon:
+	case TokColon:
 		return "':'"
-	case tokDoubleColon:
+	case TokDoubleColon:
 		return "'::'"
-	case tokStar:
+	case TokStar:
 		return "'*'"
-	case tokPlus:
+	case TokPlus:
 		return "'+'"
-	case tokMinus:
+	case TokMinus:
 		return "'-'"
-	case tokSlash:
+	case TokSlash:
 		return "'/'"
-	case tokAssign:
+	case TokAssign:
 		return "'='"
-	case tokSlashParen:
+	case TokSlashParen:
 		return "'(/'"
-	case tokParenSlash:
+	case TokParenSlash:
 		return "'/)'"
 	}
 	return "?"
 }
 
-// token is one lexical token.
-type token struct {
-	kind tokKind
-	text string
-	pos  int
+// Token is one lexical token. Pos is the 0-based source column of
+// the token's first character within its line; parser errors report
+// it 1-based.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
 }
 
 // lexer tokenizes one logical line.
 type lexer struct {
 	src  string
-	pos  int
-	toks []token
+	cur  int
+	toks []Token
 }
+
+// Lex tokenizes a line that has already been stripped of the !HPF$
+// prefix and comments (see StripLine). It is the shared lexical entry
+// point of the front end: this package's directive parser and the
+// executable-statement parser of package interp both consume its
+// token stream.
+func Lex(src string) ([]Token, error) { return lexLine(src) }
 
 // lexLine tokenizes a line, which must already be stripped of the
 // !HPF$ prefix and comments.
-func lexLine(src string) ([]token, error) {
+func lexLine(src string) ([]Token, error) {
 	lx := &lexer{src: src}
 	for {
 		tok, err := lx.next()
@@ -96,78 +105,98 @@ func lexLine(src string) ([]token, error) {
 			return nil, err
 		}
 		lx.toks = append(lx.toks, tok)
-		if tok.kind == tokEOF {
+		if tok.Kind == TokEOF {
 			return lx.toks, nil
 		}
 	}
 }
 
-func (lx *lexer) next() (token, error) {
-	for lx.pos < len(lx.src) && (lx.src[lx.pos] == ' ' || lx.src[lx.pos] == '\t') {
-		lx.pos++
+func (lx *lexer) next() (Token, error) {
+	for lx.cur < len(lx.src) && (lx.src[lx.cur] == ' ' || lx.src[lx.cur] == '\t') {
+		lx.cur++
 	}
-	start := lx.pos
-	if lx.pos >= len(lx.src) {
-		return token{kind: tokEOF, pos: start}, nil
+	start := lx.cur
+	if lx.cur >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
 	}
-	c := lx.src[lx.pos]
+	c := lx.src[lx.cur]
 	switch {
 	case c == '(':
-		lx.pos++
-		if lx.pos < len(lx.src) && lx.src[lx.pos] == '/' {
-			lx.pos++
-			return token{kind: tokSlashParen, text: "(/", pos: start}, nil
+		lx.cur++
+		if lx.cur < len(lx.src) && lx.src[lx.cur] == '/' {
+			lx.cur++
+			return Token{Kind: TokSlashParen, Text: "(/", Pos: start}, nil
 		}
-		return token{kind: tokLParen, text: "(", pos: start}, nil
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
 	case c == ')':
-		lx.pos++
-		return token{kind: tokRParen, text: ")", pos: start}, nil
+		lx.cur++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
 	case c == ',':
-		lx.pos++
-		return token{kind: tokComma, text: ",", pos: start}, nil
+		lx.cur++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
 	case c == ':':
-		lx.pos++
-		if lx.pos < len(lx.src) && lx.src[lx.pos] == ':' {
-			lx.pos++
-			return token{kind: tokDoubleColon, text: "::", pos: start}, nil
+		lx.cur++
+		if lx.cur < len(lx.src) && lx.src[lx.cur] == ':' {
+			lx.cur++
+			return Token{Kind: TokDoubleColon, Text: "::", Pos: start}, nil
 		}
-		return token{kind: tokColon, text: ":", pos: start}, nil
+		return Token{Kind: TokColon, Text: ":", Pos: start}, nil
 	case c == '*':
-		lx.pos++
-		return token{kind: tokStar, text: "*", pos: start}, nil
+		lx.cur++
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
 	case c == '+':
-		lx.pos++
-		return token{kind: tokPlus, text: "+", pos: start}, nil
+		lx.cur++
+		return Token{Kind: TokPlus, Text: "+", Pos: start}, nil
 	case c == '-':
-		lx.pos++
-		return token{kind: tokMinus, text: "-", pos: start}, nil
+		lx.cur++
+		return Token{Kind: TokMinus, Text: "-", Pos: start}, nil
 	case c == '/':
-		lx.pos++
-		if lx.pos < len(lx.src) && lx.src[lx.pos] == ')' {
-			lx.pos++
-			return token{kind: tokParenSlash, text: "/)", pos: start}, nil
+		lx.cur++
+		if lx.cur < len(lx.src) && lx.src[lx.cur] == ')' {
+			lx.cur++
+			return Token{Kind: TokParenSlash, Text: "/)", Pos: start}, nil
 		}
-		return token{kind: tokSlash, text: "/", pos: start}, nil
+		return Token{Kind: TokSlash, Text: "/", Pos: start}, nil
 	case c == '=':
-		lx.pos++
-		return token{kind: tokAssign, text: "=", pos: start}, nil
+		lx.cur++
+		return Token{Kind: TokAssign, Text: "=", Pos: start}, nil
 	case c >= '0' && c <= '9':
-		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
-			lx.pos++
+		for lx.cur < len(lx.src) && lx.src[lx.cur] >= '0' && lx.src[lx.cur] <= '9' {
+			lx.cur++
 		}
-		return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start}, nil
+		// A fractional part makes a real literal (executable-statement
+		// coefficients like 0.25); integer contexts reject it when they
+		// fail to parse the text as an integer. "1:2" keeps the ':'.
+		if lx.cur+1 < len(lx.src) && lx.src[lx.cur] == '.' && lx.src[lx.cur+1] >= '0' && lx.src[lx.cur+1] <= '9' {
+			lx.cur++
+			for lx.cur < len(lx.src) && lx.src[lx.cur] >= '0' && lx.src[lx.cur] <= '9' {
+				lx.cur++
+			}
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.cur], Pos: start}, nil
 	case isIdentStart(rune(c)):
-		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
-			lx.pos++
+		// Always consume the start character: isIdentStart accepts '%'
+		// which isIdentPart does not, and a zero-width token would
+		// loop the lexer forever (found by FuzzDirectiveProgram).
+		lx.cur++
+		for lx.cur < len(lx.src) && isIdentPart(rune(lx.src[lx.cur])) {
+			lx.cur++
 		}
-		return token{kind: tokIdent, text: strings.ToUpper(lx.src[start:lx.pos]), pos: start}, nil
+		return Token{Kind: TokIdent, Text: strings.ToUpper(lx.src[start:lx.cur]), Pos: start}, nil
 	default:
-		return token{}, fmt.Errorf("directive: unexpected character %q at column %d", string(c), start+1)
+		return Token{}, fmt.Errorf("directive: unexpected character %q at column %d", string(c), start+1)
 	}
 }
 
 func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' || r == '%' }
 func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// StripLine normalizes one source line — removing trailing comments,
+// stripping the !HPF$ prefix — and reports whether anything remains
+// to parse (comment-only and blank lines yield ok == false). It is
+// exported for clients that classify lines before dispatching them
+// (package interp).
+func StripLine(line string) (string, bool) { return stripLine(line) }
 
 // stripLine normalizes one source line: it removes trailing comments
 // ("!" that does not begin an !HPF$ prefix), strips the !HPF$ prefix,

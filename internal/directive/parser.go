@@ -104,18 +104,18 @@ func (ip *Interp) ExecLine(line string) error {
 
 // parser consumes one statement's tokens.
 type parser struct {
-	toks []token
+	toks []Token
 	i    int
 	ip   *Interp
 }
 
-func (p *parser) peek() token { return p.toks[p.i] }
-func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
-func (p *parser) at(k tokKind) bool {
-	return p.toks[p.i].kind == k
+func (p *parser) peek() Token { return p.toks[p.i] }
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k TokKind) bool {
+	return p.toks[p.i].Kind == k
 }
 
-func (p *parser) accept(k tokKind) bool {
+func (p *parser) accept(k TokKind) bool {
 	if p.at(k) {
 		p.i++
 		return true
@@ -123,40 +123,40 @@ func (p *parser) accept(k tokKind) bool {
 	return false
 }
 
-func (p *parser) expect(k tokKind) (token, error) {
+func (p *parser) expect(k TokKind) (Token, error) {
 	if !p.at(k) {
-		return token{}, fmt.Errorf("directive: expected %s, found %s %q", k, p.peek().kind, p.peek().text)
+		return Token{}, fmt.Errorf("directive: expected %s, found %s %q (column %d)", k, p.peek().Kind, p.peek().Text, p.peek().Pos+1)
 	}
 	return p.next(), nil
 }
 
 func (p *parser) expectIdent(word string) error {
-	t, err := p.expect(tokIdent)
+	t, err := p.expect(TokIdent)
 	if err != nil {
 		return err
 	}
-	if t.text != word {
-		return fmt.Errorf("directive: expected %s, found %q", word, t.text)
+	if t.Text != word {
+		return fmt.Errorf("directive: expected %s, found %q", word, t.Text)
 	}
 	return nil
 }
 
-func (p *parser) atEnd() bool { return p.at(tokEOF) }
+func (p *parser) atEnd() bool { return p.at(TokEOF) }
 
 func (p *parser) requireEnd() error {
 	if !p.atEnd() {
-		return fmt.Errorf("directive: unexpected trailing %s %q", p.peek().kind, p.peek().text)
+		return fmt.Errorf("directive: unexpected trailing %s %q (column %d)", p.peek().Kind, p.peek().Text, p.peek().Pos+1)
 	}
 	return nil
 }
 
 // statement dispatches on the leading keyword.
 func (p *parser) statement() error {
-	t, err := p.expect(tokIdent)
+	t, err := p.expect(TokIdent)
 	if err != nil {
 		return err
 	}
-	switch t.text {
+	switch t.Text {
 	case "PARAMETER":
 		return p.parameterStmt()
 	case "PROCESSORS":
@@ -182,41 +182,41 @@ func (p *parser) statement() error {
 	case "READ":
 		return p.readStmt()
 	default:
-		return fmt.Errorf("directive: unknown statement %q", t.text)
+		return fmt.Errorf("directive: unknown statement %q (column %d)", t.Text, t.Pos+1)
 	}
 }
 
 // parameterStmt handles "PARAMETER N = 64", "PARAMETER(N=64)" and
 // array forms "PARAMETER S = (/4,10,16/)".
 func (p *parser) parameterStmt() error {
-	paren := p.accept(tokLParen)
+	paren := p.accept(TokLParen)
 	for {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return err
 		}
-		if _, err := p.expect(tokAssign); err != nil {
+		if _, err := p.expect(TokAssign); err != nil {
 			return err
 		}
-		if p.at(tokSlashParen) {
+		if p.at(TokSlashParen) {
 			vals, err := p.arrayConstructor()
 			if err != nil {
 				return err
 			}
-			p.ip.SetParamArray(nameTok.text, vals)
+			p.ip.SetParamArray(nameTok.Text, vals)
 		} else {
 			v, err := p.constExpr()
 			if err != nil {
 				return err
 			}
-			p.ip.SetParam(nameTok.text, v)
+			p.ip.SetParam(nameTok.Text, v)
 		}
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
 	if paren {
-		if _, err := p.expect(tokRParen); err != nil {
+		if _, err := p.expect(TokRParen); err != nil {
 			return err
 		}
 	}
@@ -224,7 +224,7 @@ func (p *parser) parameterStmt() error {
 }
 
 func (p *parser) arrayConstructor() ([]int, error) {
-	if _, err := p.expect(tokSlashParen); err != nil {
+	if _, err := p.expect(TokSlashParen); err != nil {
 		return nil, err
 	}
 	var vals []int
@@ -234,11 +234,11 @@ func (p *parser) arrayConstructor() ([]int, error) {
 			return nil, err
 		}
 		vals = append(vals, v)
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokParenSlash); err != nil {
+	if _, err := p.expect(TokParenSlash); err != nil {
 		return nil, err
 	}
 	return vals, nil
@@ -247,43 +247,59 @@ func (p *parser) arrayConstructor() ([]int, error) {
 // processorsStmt handles "PROCESSORS PR(32), Q(1:8,1:4), SCAL".
 func (p *parser) processorsStmt() error {
 	for {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return err
 		}
-		if p.at(tokLParen) {
+		if p.at(TokLParen) {
 			dom, err := p.boundsList()
 			if err != nil {
 				return err
 			}
-			if _, err := p.ip.Unit.Sys.DeclareArray(nameTok.text, dom); err != nil {
+			if _, err := p.ip.Unit.Sys.DeclareArray(nameTok.Text, dom); err != nil {
 				return err
 			}
 		} else {
-			if _, err := p.ip.Unit.Sys.DeclareScalar(nameTok.text, proc.ScalarControl); err != nil {
+			if _, err := p.ip.Unit.Sys.DeclareScalar(nameTok.Text, proc.ScalarControl); err != nil {
 				return err
 			}
 		}
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
 	return p.requireEnd()
 }
 
+// Declared domains are bounded at parse time so that hostile bound
+// expressions become positioned errors here instead of silent integer
+// overflow inside Domain.Size (whose product is what every layer
+// above sizes its tables by) or memory exhaustion at materialization.
+const (
+	// maxDeclaredBound bounds the magnitude of any declared lower or
+	// upper bound.
+	maxDeclaredBound = 1 << 40
+	// maxDeclaredElems bounds the total element count of one declared
+	// domain (array, template or processor arrangement).
+	maxDeclaredElems = 1 << 44
+)
+
 // boundsList parses "(b1, b2, ...)" where each bound is "u" (meaning
-// 1:u) or "l:u".
+// 1:u) or "l:u", rejecting domains whose bounds or total size exceed
+// the declaration limits.
 func (p *parser) boundsList() (index.Domain, error) {
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return index.Domain{}, err
 	}
 	var dims []index.Triplet
+	elems := int64(1)
 	for {
+		pos := p.peek().Pos
 		lo, err := p.constExpr()
 		if err != nil {
 			return index.Domain{}, err
 		}
-		if p.accept(tokColon) {
+		if p.accept(TokColon) {
 			hi, err := p.constExpr()
 			if err != nil {
 				return index.Domain{}, err
@@ -292,11 +308,21 @@ func (p *parser) boundsList() (index.Domain, error) {
 		} else {
 			dims = append(dims, index.Unit(1, lo))
 		}
-		if !p.accept(tokComma) {
+		d := dims[len(dims)-1]
+		if d.Low < -maxDeclaredBound || d.Low > maxDeclaredBound || d.High < -maxDeclaredBound || d.High > maxDeclaredBound {
+			return index.Domain{}, fmt.Errorf("directive: declared bound exceeds %d in magnitude (column %d)", int64(maxDeclaredBound), pos+1)
+		}
+		if cnt := int64(d.High) - int64(d.Low) + 1; cnt > 0 {
+			elems *= cnt
+			if elems > maxDeclaredElems {
+				return index.Domain{}, fmt.Errorf("directive: declared domain exceeds %d elements (column %d)", int64(maxDeclaredElems), pos+1)
+			}
+		}
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return index.Domain{}, err
 	}
 	return index.New(dims...), nil
@@ -307,35 +333,35 @@ func (p *parser) boundsList() (index.Domain, error) {
 func (p *parser) declStmt() error {
 	allocRank := 0
 	allocatable := false
-	if p.accept(tokComma) {
+	if p.accept(TokComma) {
 		if err := p.expectIdent("ALLOCATABLE"); err != nil {
 			return err
 		}
 		allocatable = true
-		if _, err := p.expect(tokLParen); err != nil {
+		if _, err := p.expect(TokLParen); err != nil {
 			return err
 		}
 		for {
-			if _, err := p.expect(tokColon); err != nil {
+			if _, err := p.expect(TokColon); err != nil {
 				return err
 			}
 			allocRank++
-			if !p.accept(tokComma) {
+			if !p.accept(TokComma) {
 				break
 			}
 		}
-		if _, err := p.expect(tokRParen); err != nil {
+		if _, err := p.expect(TokRParen); err != nil {
 			return err
 		}
 	}
-	p.accept(tokDoubleColon)
+	p.accept(TokDoubleColon)
 	for {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return err
 		}
 		if allocatable {
-			if _, err := p.ip.Unit.DeclareAllocatable(nameTok.text, allocRank); err != nil {
+			if _, err := p.ip.Unit.DeclareAllocatable(nameTok.Text, allocRank); err != nil {
 				return err
 			}
 			if p.ip.Templates != nil {
@@ -344,23 +370,23 @@ func (p *parser) declStmt() error {
 				_ = nameTok
 			}
 		} else {
-			if !p.at(tokLParen) {
-				return fmt.Errorf("directive: array %s requires bounds (scalars are not declared)", nameTok.text)
+			if !p.at(TokLParen) {
+				return fmt.Errorf("directive: array %s requires bounds (scalars are not declared)", nameTok.Text)
 			}
 			dom, err := p.boundsList()
 			if err != nil {
 				return err
 			}
-			if _, err := p.ip.Unit.DeclareArray(nameTok.text, dom); err != nil {
+			if _, err := p.ip.Unit.DeclareArray(nameTok.Text, dom); err != nil {
 				return err
 			}
 			if p.ip.Templates != nil {
-				if err := p.ip.Templates.DeclareArray(nameTok.text, dom); err != nil {
+				if err := p.ip.Templates.DeclareArray(nameTok.Text, dom); err != nil {
 					return err
 				}
 			}
 		}
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
@@ -368,16 +394,16 @@ func (p *parser) declStmt() error {
 }
 
 func (p *parser) dynamicStmt() error {
-	p.accept(tokDoubleColon)
+	p.accept(TokDoubleColon)
 	for {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return err
 		}
-		if err := p.ip.Unit.SetDynamic(nameTok.text); err != nil {
+		if err := p.ip.Unit.SetDynamic(nameTok.Text); err != nil {
 			return err
 		}
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
@@ -391,7 +417,7 @@ func (p *parser) dynamicStmt() error {
 //
 // and their REDISTRIBUTE counterparts.
 func (p *parser) distributeStmt(redistribute bool) error {
-	if p.at(tokLParen) {
+	if p.at(TokLParen) {
 		// Attributed form: formats first, distributees after "::".
 		formats, err := p.formatList()
 		if err != nil {
@@ -401,24 +427,24 @@ func (p *parser) distributeStmt(redistribute bool) error {
 		if err != nil {
 			return err
 		}
-		if _, err := p.expect(tokDoubleColon); err != nil {
+		if _, err := p.expect(TokDoubleColon); err != nil {
 			return err
 		}
 		for {
-			nameTok, err := p.expect(tokIdent)
+			nameTok, err := p.expect(TokIdent)
 			if err != nil {
 				return err
 			}
-			if err := p.applyDistribute(nameTok.text, formats, target, redistribute); err != nil {
+			if err := p.applyDistribute(nameTok.Text, formats, target, redistribute); err != nil {
 				return err
 			}
-			if !p.accept(tokComma) {
+			if !p.accept(TokComma) {
 				break
 			}
 		}
 		return p.requireEnd()
 	}
-	nameTok, err := p.expect(tokIdent)
+	nameTok, err := p.expect(TokIdent)
 	if err != nil {
 		return err
 	}
@@ -430,7 +456,7 @@ func (p *parser) distributeStmt(redistribute bool) error {
 	if err != nil {
 		return err
 	}
-	if err := p.applyDistribute(nameTok.text, formats, target, redistribute); err != nil {
+	if err := p.applyDistribute(nameTok.Text, formats, target, redistribute); err != nil {
 		return err
 	}
 	return p.requireEnd()
@@ -451,7 +477,7 @@ func (p *parser) applyDistribute(name string, formats []dist.Format, target proc
 
 // formatList parses "(fmt, fmt, ...)".
 func (p *parser) formatList() ([]dist.Format, error) {
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return nil, err
 	}
 	var formats []dist.Format
@@ -461,37 +487,37 @@ func (p *parser) formatList() ([]dist.Format, error) {
 			return nil, err
 		}
 		formats = append(formats, f)
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return nil, err
 	}
 	return formats, nil
 }
 
 func (p *parser) format() (dist.Format, error) {
-	if p.accept(tokColon) {
+	if p.accept(TokColon) {
 		return dist.Collapsed{}, nil
 	}
-	t, err := p.expect(tokIdent)
+	t, err := p.expect(TokIdent)
 	if err != nil {
 		return nil, err
 	}
-	switch t.text {
+	switch t.Text {
 	case "BLOCK":
 		if p.ip.ViennaBlock {
 			return dist.BlockVienna{}, nil
 		}
 		return dist.Block{}, nil
 	case "CYCLIC":
-		if p.accept(tokLParen) {
+		if p.accept(TokLParen) {
 			k, err := p.constExpr()
 			if err != nil {
 				return nil, err
 			}
-			if _, err := p.expect(tokRParen); err != nil {
+			if _, err := p.expect(TokRParen); err != nil {
 				return nil, err
 			}
 			if k < 1 {
@@ -515,35 +541,35 @@ func (p *parser) format() (dist.Format, error) {
 		}
 		return dist.NewIndirect(owner)
 	default:
-		return nil, fmt.Errorf("directive: unknown distribution format %q", t.text)
+		return nil, fmt.Errorf("directive: unknown distribution format %q", t.Text)
 	}
 }
 
 // intVectorArg parses "(name)" or "((/v1,v2,.../))" as an integer
 // vector argument of a distribution format.
 func (p *parser) intVectorArg(what string) ([]int, error) {
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return nil, err
 	}
 	var vals []int
-	if p.at(tokSlashParen) {
+	if p.at(TokSlashParen) {
 		var err error
 		vals, err = p.arrayConstructor()
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return nil, err
 		}
-		arr, ok := p.ip.ParamArrays[nameTok.text]
+		arr, ok := p.ip.ParamArrays[nameTok.Text]
 		if !ok {
-			return nil, fmt.Errorf("directive: %s argument %s is not a known integer array", what, nameTok.text)
+			return nil, fmt.Errorf("directive: %s argument %s is not a known integer array", what, nameTok.Text)
 		}
 		vals = arr
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return nil, err
 	}
 	return vals, nil
@@ -551,19 +577,19 @@ func (p *parser) intVectorArg(what string) ([]int, error) {
 
 // optionalTarget parses "[TO name[(sections)]]".
 func (p *parser) optionalTarget() (proc.Target, error) {
-	if !p.at(tokIdent) || p.peek().text != "TO" {
+	if !p.at(TokIdent) || p.peek().Text != "TO" {
 		return proc.Target{}, nil
 	}
 	p.next()
-	nameTok, err := p.expect(tokIdent)
+	nameTok, err := p.expect(TokIdent)
 	if err != nil {
 		return proc.Target{}, err
 	}
-	arr, ok := p.ip.Unit.Sys.Lookup(nameTok.text)
+	arr, ok := p.ip.Unit.Sys.Lookup(nameTok.Text)
 	if !ok {
-		return proc.Target{}, fmt.Errorf("directive: unknown processor arrangement %s", nameTok.text)
+		return proc.Target{}, fmt.Errorf("directive: unknown processor arrangement %s", nameTok.Text)
 	}
-	if !p.at(tokLParen) {
+	if !p.at(TokLParen) {
 		return proc.Whole(arr), nil
 	}
 	p.next()
@@ -578,11 +604,11 @@ func (p *parser) optionalTarget() (proc.Target, error) {
 		sel = append(sel, tr)
 		drop = append(drop, scalar)
 		dim++
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return proc.Target{}, err
 	}
 	anyDrop := false
@@ -597,7 +623,7 @@ func (p *parser) optionalTarget() (proc.Target, error) {
 
 // sectionTriplet parses one section subscript: ":", "l:u[:s]" with
 // optional parts defaulting to the dimension's bounds (including the
-// "l::s" and "::s" forms, where "::" lexes as one token), or a scalar
+// "l::s" and "::s" forms, where "::" lexes as one Token), or a scalar
 // subscript "v". The second result reports the scalar case, which
 // reduces the target's rank.
 func (p *parser) sectionTriplet(dom index.Domain, dim int) (index.Triplet, bool, error) {
@@ -607,7 +633,7 @@ func (p *parser) sectionTriplet(dom index.Domain, dim int) (index.Triplet, bool,
 	def := dom.Dims[dim]
 	lo, hi, st := def.Low, def.Last(), 1
 	hasLo := false
-	if !p.at(tokColon) && !p.at(tokDoubleColon) {
+	if !p.at(TokColon) && !p.at(TokDoubleColon) {
 		v, err := p.constExpr()
 		if err != nil {
 			return index.Triplet{}, false, err
@@ -615,7 +641,7 @@ func (p *parser) sectionTriplet(dom index.Domain, dim int) (index.Triplet, bool,
 		lo = v
 		hasLo = true
 	}
-	if p.accept(tokDoubleColon) {
+	if p.accept(TokDoubleColon) {
 		// "l::s" / "::s": upper bound defaults, stride explicit.
 		v, err := p.constExpr()
 		if err != nil {
@@ -624,20 +650,20 @@ func (p *parser) sectionTriplet(dom index.Domain, dim int) (index.Triplet, bool,
 		tr, err := index.NewTriplet(lo, hi, v)
 		return tr, false, err
 	}
-	if !p.accept(tokColon) {
+	if !p.accept(TokColon) {
 		if !hasLo {
 			return index.Triplet{}, false, fmt.Errorf("directive: empty section subscript")
 		}
 		return index.Unit(lo, lo), true, nil // scalar subscript
 	}
-	if !p.at(tokColon) && !p.at(tokComma) && !p.at(tokRParen) && !p.at(tokEOF) {
+	if !p.at(TokColon) && !p.at(TokComma) && !p.at(TokRParen) && !p.at(TokEOF) {
 		v, err := p.constExpr()
 		if err != nil {
 			return index.Triplet{}, false, err
 		}
 		hi = v
 	}
-	if p.accept(tokColon) {
+	if p.accept(TokColon) {
 		v, err := p.constExpr()
 		if err != nil {
 			return index.Triplet{}, false, err
@@ -650,48 +676,48 @@ func (p *parser) sectionTriplet(dom index.Domain, dim int) (index.Triplet, bool,
 
 // alignStmt handles "ALIGN A(axes) WITH B(subs)" and REALIGN.
 func (p *parser) alignStmt(realign bool) error {
-	aligneeTok, err := p.expect(tokIdent)
+	aligneeTok, err := p.expect(TokIdent)
 	if err != nil {
 		return err
 	}
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return err
 	}
 	var axes []align.Axis
 	dummies := map[string]bool{}
 	for {
 		switch {
-		case p.accept(tokColon):
+		case p.accept(TokColon):
 			axes = append(axes, align.Colon())
-		case p.accept(tokStar):
+		case p.accept(TokStar):
 			axes = append(axes, align.Star())
 		default:
-			t, err := p.expect(tokIdent)
+			t, err := p.expect(TokIdent)
 			if err != nil {
 				return fmt.Errorf("directive: alignee axis must be ':', '*' or an align-dummy: %w", err)
 			}
-			axes = append(axes, align.DummyAxis(t.text))
-			dummies[t.text] = true
+			axes = append(axes, align.DummyAxis(t.Text))
+			dummies[t.Text] = true
 		}
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return err
 	}
 	if err := p.expectIdent("WITH"); err != nil {
 		return err
 	}
-	baseTok, err := p.expect(tokIdent)
+	baseTok, err := p.expect(TokIdent)
 	if err != nil {
 		return err
 	}
-	baseDom, isTemplate, err := p.baseDomain(baseTok.text)
+	baseDom, isTemplate, err := p.baseDomain(baseTok.Text)
 	if err != nil {
 		return err
 	}
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return err
 	}
 	var subs []align.Subscript
@@ -703,17 +729,17 @@ func (p *parser) alignStmt(realign bool) error {
 		}
 		subs = append(subs, s)
 		dim++
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return err
 	}
 	if err := p.requireEnd(); err != nil {
 		return err
 	}
-	spec := align.Spec{Alignee: aligneeTok.text, Axes: axes, Base: baseTok.text, Subs: subs}
+	spec := align.Spec{Alignee: aligneeTok.Text, Axes: axes, Base: baseTok.Text, Subs: subs}
 	if isTemplate {
 		if realign {
 			return fmt.Errorf("directive: REALIGN with a template base is not supported by the baseline front end")
@@ -721,7 +747,7 @@ func (p *parser) alignStmt(realign bool) error {
 		if err := p.ip.Templates.AlignWithTemplate(spec); err != nil {
 			return err
 		}
-		p.ip.templateAligned[aligneeTok.text] = true
+		p.ip.templateAligned[aligneeTok.Text] = true
 		return nil
 	}
 	if realign {
@@ -761,7 +787,7 @@ func (p *parser) baseDomain(name string) (index.Domain, bool, error) {
 // by a top-level ":"), or an expression possibly containing one
 // align-dummy.
 func (p *parser) alignSubscript(dummies map[string]bool, baseDom index.Domain, dim int) (align.Subscript, error) {
-	if p.accept(tokStar) {
+	if p.accept(TokStar) {
 		return align.StarSub(), nil
 	}
 	if p.tripletAhead() {
@@ -786,23 +812,23 @@ func (p *parser) alignSubscript(dummies map[string]bool, baseDom index.Domain, d
 func (p *parser) tripletAhead() bool {
 	depth := 0
 	for k := p.i; k < len(p.toks); k++ {
-		switch p.toks[k].kind {
-		case tokLParen, tokSlashParen:
+		switch p.toks[k].Kind {
+		case TokLParen, TokSlashParen:
 			depth++
-		case tokRParen, tokParenSlash:
+		case TokRParen, TokParenSlash:
 			if depth == 0 {
 				return false
 			}
 			depth--
-		case tokComma:
+		case TokComma:
 			if depth == 0 {
 				return false
 			}
-		case tokColon, tokDoubleColon:
+		case TokColon, TokDoubleColon:
 			if depth == 0 {
 				return true
 			}
-		case tokEOF:
+		case TokEOF:
 			return false
 		}
 	}
@@ -838,13 +864,13 @@ func (p *parser) addExpr(dummies map[string]bool) (expr.Expr, error) {
 	}
 	for {
 		switch {
-		case p.accept(tokPlus):
+		case p.accept(TokPlus):
 			r, err := p.mulExpr(dummies)
 			if err != nil {
 				return nil, err
 			}
 			l = fold(expr.Add(l, r))
-		case p.accept(tokMinus):
+		case p.accept(TokMinus):
 			r, err := p.mulExpr(dummies)
 			if err != nil {
 				return nil, err
@@ -863,13 +889,13 @@ func (p *parser) mulExpr(dummies map[string]bool) (expr.Expr, error) {
 	}
 	for {
 		switch {
-		case p.accept(tokStar):
+		case p.accept(TokStar):
 			r, err := p.unaryExpr(dummies)
 			if err != nil {
 				return nil, err
 			}
 			l = fold(expr.Mul(l, r))
-		case p.accept(tokSlash):
+		case p.accept(TokSlash):
 			r, err := p.unaryExpr(dummies)
 			if err != nil {
 				return nil, err
@@ -890,14 +916,14 @@ func (p *parser) mulExpr(dummies map[string]bool) (expr.Expr, error) {
 }
 
 func (p *parser) unaryExpr(dummies map[string]bool) (expr.Expr, error) {
-	if p.accept(tokMinus) {
+	if p.accept(TokMinus) {
 		e, err := p.unaryExpr(dummies)
 		if err != nil {
 			return nil, err
 		}
 		return fold(expr.Sub(expr.Const(0), e)), nil
 	}
-	if p.accept(tokPlus) {
+	if p.accept(TokPlus) {
 		return p.unaryExpr(dummies)
 	}
 	return p.primaryExpr(dummies)
@@ -905,73 +931,73 @@ func (p *parser) unaryExpr(dummies map[string]bool) (expr.Expr, error) {
 
 func (p *parser) primaryExpr(dummies map[string]bool) (expr.Expr, error) {
 	switch {
-	case p.at(tokNumber):
+	case p.at(TokNumber):
 		t := p.next()
-		v, err := strconv.Atoi(t.text)
+		v, err := strconv.Atoi(t.Text)
 		if err != nil {
-			return nil, fmt.Errorf("directive: bad number %q: %w", t.text, err)
+			return nil, fmt.Errorf("directive: bad number %q: %w", t.Text, err)
 		}
 		return expr.Const(v), nil
-	case p.accept(tokLParen):
+	case p.accept(TokLParen):
 		e, err := p.addExpr(dummies)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.expect(tokRParen); err != nil {
+		if _, err := p.expect(TokRParen); err != nil {
 			return nil, err
 		}
 		return e, nil
-	case p.at(tokIdent):
+	case p.at(TokIdent):
 		t := p.next()
-		switch t.text {
+		switch t.Text {
 		case "MAX", "MIN":
 			args, err := p.callArgs(dummies)
 			if err != nil {
 				return nil, err
 			}
 			if len(args) < 2 {
-				return nil, fmt.Errorf("directive: %s requires at least two arguments", t.text)
+				return nil, fmt.Errorf("directive: %s requires at least two arguments", t.Text)
 			}
-			if t.text == "MAX" {
+			if t.Text == "MAX" {
 				return expr.Max(args...), nil
 			}
 			return expr.Min(args...), nil
 		case "LBOUND", "UBOUND", "SIZE":
-			if _, err := p.expect(tokLParen); err != nil {
+			if _, err := p.expect(TokLParen); err != nil {
 				return nil, err
 			}
-			arrTok, err := p.expect(tokIdent)
+			arrTok, err := p.expect(TokIdent)
 			if err != nil {
 				return nil, err
 			}
 			dim := 1
-			if p.accept(tokComma) {
+			if p.accept(TokComma) {
 				dim, err = p.constExpr()
 				if err != nil {
 					return nil, err
 				}
 			}
-			if _, err := p.expect(tokRParen); err != nil {
+			if _, err := p.expect(TokRParen); err != nil {
 				return nil, err
 			}
-			switch t.text {
+			switch t.Text {
 			case "LBOUND":
-				return expr.LBound(arrTok.text, dim), nil
+				return expr.LBound(arrTok.Text, dim), nil
 			case "UBOUND":
-				return expr.UBound(arrTok.text, dim), nil
+				return expr.UBound(arrTok.Text, dim), nil
 			default:
-				return expr.Size(arrTok.text, dim), nil
+				return expr.Size(arrTok.Text, dim), nil
 			}
 		}
-		if dummies != nil && dummies[t.text] {
-			return expr.Dummy(t.text), nil
+		if dummies != nil && dummies[t.Text] {
+			return expr.Dummy(t.Text), nil
 		}
-		if v, ok := p.ip.Params[t.text]; ok && p.ip.available[t.text] {
+		if v, ok := p.ip.Params[t.Text]; ok && p.ip.available[t.Text] {
 			return expr.Const(v), nil
 		}
-		return nil, fmt.Errorf("directive: unknown identifier %q in expression (not a parameter%s)", t.text, dummyHint(dummies))
+		return nil, fmt.Errorf("directive: unknown identifier %q in expression (not a parameter%s)", t.Text, dummyHint(dummies))
 	default:
-		return nil, fmt.Errorf("directive: expected expression, found %s %q", p.peek().kind, p.peek().text)
+		return nil, fmt.Errorf("directive: expected expression, found %s %q", p.peek().Kind, p.peek().Text)
 	}
 }
 
@@ -983,7 +1009,7 @@ func dummyHint(dummies map[string]bool) string {
 }
 
 func (p *parser) callArgs(dummies map[string]bool) ([]expr.Expr, error) {
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return nil, err
 	}
 	var args []expr.Expr
@@ -993,11 +1019,11 @@ func (p *parser) callArgs(dummies map[string]bool) ([]expr.Expr, error) {
 			return nil, err
 		}
 		args = append(args, e)
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return nil, err
 	}
 	return args, nil
@@ -1048,7 +1074,7 @@ func (p *parser) templateStmt() error {
 	if p.ip.Templates == nil {
 		return fmt.Errorf("directive: TEMPLATE is not part of this model (the paper's proposal removes template directives); attach a template.Model to parse HPF baseline programs")
 	}
-	nameTok, err := p.expect(tokIdent)
+	nameTok, err := p.expect(TokIdent)
 	if err != nil {
 		return err
 	}
@@ -1056,7 +1082,7 @@ func (p *parser) templateStmt() error {
 	if err != nil {
 		return err
 	}
-	if _, err := p.ip.Templates.DeclareTemplate(nameTok.text, dom); err != nil {
+	if _, err := p.ip.Templates.DeclareTemplate(nameTok.Text, dom); err != nil {
 		return err
 	}
 	return p.requireEnd()
@@ -1064,11 +1090,11 @@ func (p *parser) templateStmt() error {
 
 // allocateStmt handles "ALLOCATE(A(n,m), B(n))".
 func (p *parser) allocateStmt() error {
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return err
 	}
 	for {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return err
 		}
@@ -1076,36 +1102,36 @@ func (p *parser) allocateStmt() error {
 		if err != nil {
 			return err
 		}
-		if err := p.ip.Unit.Allocate(nameTok.text, dom); err != nil {
+		if err := p.ip.Unit.Allocate(nameTok.Text, dom); err != nil {
 			return err
 		}
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return err
 	}
 	return p.requireEnd()
 }
 
 func (p *parser) deallocateStmt() error {
-	if _, err := p.expect(tokLParen); err != nil {
+	if _, err := p.expect(TokLParen); err != nil {
 		return err
 	}
 	for {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return err
 		}
-		if err := p.ip.Unit.Deallocate(nameTok.text); err != nil {
+		if err := p.ip.Unit.Deallocate(nameTok.Text); err != nil {
 			return err
 		}
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			break
 		}
 	}
-	if _, err := p.expect(tokRParen); err != nil {
+	if _, err := p.expect(TokRParen); err != nil {
 		return err
 	}
 	return p.requireEnd()
@@ -1115,22 +1141,22 @@ func (p *parser) deallocateStmt() error {
 // ignored); the named variables must have values supplied via
 // SetParam, modeling run-time input (§6's example reads M and N).
 func (p *parser) readStmt() error {
-	if p.at(tokNumber) {
+	if p.at(TokNumber) {
 		p.next()
-		if !p.accept(tokComma) {
+		if !p.accept(TokComma) {
 			return fmt.Errorf("directive: READ unit number must be followed by ','")
 		}
 	}
 	for {
-		nameTok, err := p.expect(tokIdent)
+		nameTok, err := p.expect(TokIdent)
 		if err != nil {
 			return err
 		}
-		if _, ok := p.ip.Params[nameTok.text]; !ok {
-			return fmt.Errorf("directive: READ %s: no input value supplied (use SetParam)", nameTok.text)
+		if _, ok := p.ip.Params[nameTok.Text]; !ok {
+			return fmt.Errorf("directive: READ %s: no input value supplied (use SetParam)", nameTok.Text)
 		}
-		p.ip.available[nameTok.text] = true
-		if !p.accept(tokComma) {
+		p.ip.available[nameTok.Text] = true
+		if !p.accept(TokComma) {
 			break
 		}
 	}

@@ -499,7 +499,7 @@ func TestExpressionErrors(t *testing.T) {
 		"REAL A(MAX(3))",                   // MAX needs >= 2 args
 		"REAL A(LBOUND)",                   // intrinsic without parens
 		"REAL A(3/0)",                      // division by zero
-		"REAL A(*)",                        // stray token
+		"REAL A(*)",                        // stray Token
 		"PARAMETER N = (/1,2/)\nREAL A(N)", // array param in scalar context
 	}
 	for _, src := range cases {
@@ -571,9 +571,9 @@ func TestDeferredAlignToAllocatable(t *testing.T) {
 }
 
 func TestTokenKindStrings(t *testing.T) {
-	kinds := []tokKind{tokEOF, tokIdent, tokNumber, tokLParen, tokRParen,
-		tokComma, tokColon, tokDoubleColon, tokStar, tokPlus, tokMinus,
-		tokSlash, tokAssign, tokSlashParen, tokParenSlash}
+	kinds := []TokKind{TokEOF, TokIdent, TokNumber, TokLParen, TokRParen,
+		TokComma, TokColon, TokDoubleColon, TokStar, TokPlus, TokMinus,
+		TokSlash, TokAssign, TokSlashParen, TokParenSlash}
 	for _, k := range kinds {
 		if k.String() == "?" {
 			t.Fatalf("kind %d has no string", int(k))
