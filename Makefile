@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm race-recovery node-smoke node-smoke-shm node-recovery node-recovery-shm run-smoke run-smoke-shm obs-smoke obs-recovery-trace bench bench-snapshot bench-gate speedup amortization overhead corpus fuzz fuzz-engine fuzz-irregular fuzz-interp docs
+.PHONY: check fmt vet build test race race-spmd race-irregular race-tcp race-shm race-recovery node-smoke node-smoke-shm node-recovery node-recovery-shm run-smoke run-smoke-shm obs-smoke obs-recovery-trace trace-analyze-smoke bench bench-snapshot bench-gate speedup amortization overhead corpus fuzz fuzz-engine fuzz-irregular fuzz-interp docs
 
 check: fmt vet build test docs
 
@@ -106,6 +106,20 @@ obs-recovery-trace:
 		grep -q "$$kind" /tmp/hpfnt-recovery-trace.json || \
 			{ echo "recovery trace is missing a \"$$kind\" event"; exit 1; }; \
 	done; echo "recovery trace contains member-lost, rollback and rejoin events"
+
+# Trace-analysis smoke: a 3-process shm job writes per-process trace
+# parts with causal flow IDs, the leader merges them, and hpftrace
+# must diagnose a nonzero epoch critical path and a nonzero skew
+# ratio from the merged trace.
+trace-analyze-smoke:
+	$(GO) run ./cmd/hpfnode -spawn -procs 3 -np 6 -transport shm -workload jacobi -n 48 -iters 4 \
+		-trace /tmp/hpfnt-analyze-trace.json -http 127.0.0.1:0
+	$(GO) run ./cmd/hpftrace -json /tmp/hpfnt-analyze-trace.json > /tmp/hpfnt-analyze-report.json
+	$(GO) run ./cmd/hpftrace -gate /tmp/hpfnt-analyze-trace.json > /dev/null
+	@grep -q '"max_critical_path_ns"' /tmp/hpfnt-analyze-report.json && \
+		grep -q '"max_skew_ratio"' /tmp/hpfnt-analyze-report.json || \
+		{ echo "hpftrace report is missing analysis fields"; exit 1; }
+	@echo "trace analysis found a critical path and a skew diagnosis"
 
 # Every internal package must carry a package-level godoc comment
 # (go doc prints "Package <name> ..." on its third line iff one

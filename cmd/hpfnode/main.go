@@ -112,7 +112,7 @@ func run() int {
 		obs.EnableTiming(true)
 	}
 	if *tracePath != "" {
-		obs.StartTrace(*self, 1<<14)
+		traceRec = obs.StartTrace(*self, 1<<14)
 	}
 	var scrape func() int
 	if *httpAddr != "" {

@@ -11,10 +11,16 @@ import (
 	"hpfnt/internal/ckpt"
 	"hpfnt/internal/elastic"
 	"hpfnt/internal/engine"
+	"hpfnt/internal/interp"
 	"hpfnt/internal/machine"
 	"hpfnt/internal/obs"
+	"hpfnt/internal/obs/analyze"
 	"hpfnt/internal/transport"
 )
+
+// traceRec is the live trace recorder when -trace is on; the skew
+// monitor snapshots it at scrape time for the critical-path gauge.
+var traceRec *obs.Recorder
 
 // liveJob is what the /metrics endpoint scrapes: the current
 // workload's engine, transport and spill directory, swapped in as the
@@ -60,7 +66,15 @@ func one(v float64) []obs.Sample { return []obs.Sample{{Value: v}} }
 // server down — and returns an exit code, so a run with -http is
 // itself the CI smoke for the endpoint.
 func serveMetrics(addr string) (func() int, error) {
-	reg := obs.NewRegistry()
+	root := obs.NewRegistry()
+	// Every job-level family is registered through a per-job scoped
+	// view, so a future multi-tenant daemon can host several jobs'
+	// families side by side in one exposition without touching any of
+	// the collector closures below.
+	reg, err := root.WithLabels("job", *job)
+	if err != nil {
+		return nil, err
+	}
 	var regErr error
 	add := func(err error) {
 		if regErr == nil {
@@ -216,11 +230,37 @@ func serveMetrics(addr string) (func() int, error) {
 		}))
 	add(reg.Counter("hpfnt_recovery_retries_total", "Member-loss recoveries (generation bumps) this process performed.", nil,
 		func() []obs.Sample { return one(float64(elastic.Retries())) }))
+
+	// The live skew monitor: every scrape feeds it the current
+	// per-worker compute weights (phase nanoseconds when the timers
+	// are on, logical load otherwise) and, when tracing, a recorder
+	// snapshot for the epoch critical path — the online imbalance
+	// signal for counter-driven load balancing.
+	mon := obs.NewSkewMonitor()
+	skew := func() obs.SkewSample {
+		d := detail()
+		if d.Report.NP > 0 {
+			mon.ObserveWeights(analyze.FromDetail(d).Weights)
+		}
+		if traceRec != nil {
+			mon.ObserveEvents(traceRec.Snapshot())
+		}
+		return mon.Sample()
+	}
+	add(reg.Gauge("hpfnt_epoch_skew_ratio", "Per-worker imbalance: max/mean compute weight since the last scrape (1.0 is balanced).", nil,
+		func() []obs.Sample { return one(skew().Ratio) }))
+	add(reg.Gauge("hpfnt_critical_path_ns", "Length of the latest epoch's critical message/compute chain (0 without -trace).", nil,
+		func() []obs.Sample { return one(float64(skew().CriticalPathNS)) }))
+	add(reg.Gauge("hpfnt_straggler_rank", "1-based rank of the heaviest worker (0 before the first observation).", nil,
+		func() []obs.Sample { return one(float64(skew().Straggler)) }))
+
+	// Process-level families stay on the unscoped root registry.
+	add(interp.RegisterMetrics(root))
 	if regErr != nil {
 		return nil, regErr
 	}
 
-	bound, shutdown, err := reg.Serve(addr)
+	bound, shutdown, err := root.Serve(addr)
 	if err != nil {
 		return nil, err
 	}

@@ -243,6 +243,13 @@ func runAttempt(cfg *Config, gen int, res *Result) error {
 		tr = cfg.Wrap(tr, gen)
 	}
 	marker, _ := tr.(transport.EpochMarker)
+	// Re-seat the process-wide trace epoch at a generation-derived
+	// base: a respawned replacement starts its counter at zero while
+	// survivors are far ahead, and the replay's dispatches only stay
+	// aligned across processes (one epoch number per collective step,
+	// everywhere) if every member re-bases on the agreed generation
+	// before the first dispatch of the attempt.
+	obs.SetEpoch(int64(gen) << 20)
 	eng, err := engine.NewSPMDOn(tr, cfg.Cost)
 	if err != nil {
 		return err

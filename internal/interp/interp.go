@@ -665,8 +665,10 @@ func expandSide(ln int, name string, arr *hpf.DistArray, s sub) ([]int, error) {
 // can have changed a mapping (remapAll).
 func (ip *Interp) schedule(ln int, r *resolved) (*hpf.Schedule, error) {
 	if s, ok := ip.scheds[r.key]; ok {
+		cacheHits.Add(1)
 		return s, nil
 	}
+	cacheMisses.Add(1)
 	var s *hpf.Schedule
 	var err error
 	switch r.kind {

@@ -1,0 +1,44 @@
+package interp
+
+import (
+	"sync/atomic"
+
+	"hpfnt/internal/obs"
+)
+
+// Process-wide schedule-cache counters. Every Interp instance counts
+// into the same pair so a metrics endpoint can expose the process's
+// cache effectiveness without holding a reference to the interpreter
+// that happens to be running — the same pull-at-scrape shape as the
+// other observability counters.
+var (
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+)
+
+// CacheStats reports the process-wide schedule-cache hit/miss
+// counters: a hit replays an already-compiled schedule, a miss pays
+// the full inspector/compile cost.
+func CacheStats() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// RegisterMetrics registers the interpreter's schedule-cache counter
+// families on the registry (hpfnt_interp_cache_hits_total /
+// hpfnt_interp_cache_misses_total).
+func RegisterMetrics(reg *obs.Registry) error {
+	if err := reg.Counter("hpfnt_interp_cache_hits_total",
+		"Interpreter schedule-cache hits (a statement replayed an already-compiled schedule).", nil,
+		func() []obs.Sample {
+			h, _ := CacheStats()
+			return []obs.Sample{{Value: float64(h)}}
+		}); err != nil {
+		return err
+	}
+	return reg.Counter("hpfnt_interp_cache_misses_total",
+		"Interpreter schedule-cache misses (a statement paid the full schedule compile).", nil,
+		func() []obs.Sample {
+			_, m := CacheStats()
+			return []obs.Sample{{Value: float64(m)}}
+		})
+}

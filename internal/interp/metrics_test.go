@@ -1,0 +1,68 @@
+package interp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hpfnt/internal/interp"
+	"hpfnt/internal/obs"
+)
+
+// TestCacheCountersAndMetrics pins the schedule-cache counters to the
+// cache's behavior — a DO loop body compiles once and replays — and
+// their exposition through RegisterMetrics.
+func TestCacheCountersAndMetrics(t *testing.T) {
+	h0, m0 := interp.CacheStats()
+	src := `
+PROCESSORS P(2)
+PARAMETER N = 12
+REAL U(1:N), V(1:N)
+!HPF$ DISTRIBUTE (BLOCK) :: U, V
+FORALL (I = 1:N) U(I) = I
+FORALL (I = 1:N) V(I) = 0
+DO K = 1, 6
+  V(2:N-1) = 0.5*U(1:N-2) + 0.5*U(3:N)
+  U(2:N-1) = V(2:N-1)
+END DO
+`
+	if _, err := (interp.Config{NP: 2, Engine: "sim", Transport: "inproc"}.Run(src)); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := interp.CacheStats()
+	if m1 <= m0 {
+		t.Errorf("cache misses did not move: %d -> %d (first compile of each statement must miss)", m0, m1)
+	}
+	if h1 <= h0 {
+		t.Errorf("cache hits did not move: %d -> %d (loop iterations must replay the compiled schedules)", h0, h1)
+	}
+
+	reg := obs.NewRegistry()
+	if err := interp.RegisterMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	text := string(reg.Expose())
+	for _, want := range []string{
+		"# TYPE hpfnt_interp_cache_hits_total counter",
+		"# TYPE hpfnt_interp_cache_misses_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := obs.ValidateExposition([]byte(text)); err != nil {
+		t.Fatalf("cache-counter exposition invalid: %v\n%s", err, text)
+	}
+	// The exposed values are the live counters.
+	var exposed float64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "hpfnt_interp_cache_hits_total ") {
+			if _, err := fmt.Sscanf(line, "hpfnt_interp_cache_hits_total %g", &exposed); err != nil {
+				t.Fatalf("unparseable sample line %q: %v", line, err)
+			}
+		}
+	}
+	if exposed != float64(h1) {
+		t.Errorf("exposed hits %g do not match CacheStats()=%d", exposed, h1)
+	}
+}

@@ -151,6 +151,31 @@ func (m *Machine) Detail() Detail {
 	return d
 }
 
+// ComputeWeights returns the per-worker compute weight vector indexed
+// by rank-1: the compute-phase wall time when the phase timers were
+// on (the truest imbalance signal), the logical element load
+// otherwise. source names the vector chosen ("compute_ns" or "load").
+// This is the weight vector the skew/straggler analysis and the
+// counter-driven load balancer consume.
+func (d Detail) ComputeWeights() (weights []int64, source string) {
+	weights = make([]int64, d.Report.NP)
+	source = "compute_ns"
+	any := false
+	if vec := d.PhaseNS[PhaseCompute]; vec != nil {
+		for p := 1; p <= d.Report.NP && p < len(vec); p++ {
+			weights[p-1] = vec[p]
+			any = any || vec[p] > 0
+		}
+	}
+	if !any {
+		source = "load"
+		for p := 1; p <= d.Report.NP && p < len(d.Load); p++ {
+			weights[p-1] = d.Load[p]
+		}
+	}
+	return weights, source
+}
+
 // String renders the detail as a human-readable table: one row per
 // worker (load, traffic, phase seconds) followed by the traffic
 // matrix — what `hpfnode -verbose` prints in place of the terse

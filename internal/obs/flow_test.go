@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sendRecvPair builds a matched send/recv event pair on one flow ID.
+func sendRecvPair(flow uint64, epoch int64, srcProc, dstProc int, t0 int64) (Event, Event) {
+	send := Event{Kind: "send", Name: "msg 1->2 #1 (4 elems)", Proc: srcProc, Rank: 1,
+		Start: t0, Dur: 2_000, Epoch: epoch, Flow: flow}
+	recv := Event{Kind: "recv", Name: "msg 1->2 #1 (4 elems)", Proc: dstProc, Rank: 2,
+		Start: t0 + 5_000, Dur: 40_000, Epoch: epoch, Flow: flow}
+	return send, recv
+}
+
+func TestTraceFlowRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flow.json")
+	send, recv := sendRecvPair(0xdeadbeef, 7, 0, 1, 3_000_000_000_000)
+	if err := WriteTrace(path, []Event{send, recv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file must contain the Perfetto flow arrow pair: a "s" start
+	// and a "f" finish bound to its enclosing slice, sharing one id.
+	for _, want := range []string{`"ph": "s"`, `"ph": "f"`, `"bp": "e"`, `"id": "deadbeef"`, `"flow": "deadbeef"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace file missing %s:\n%s", want, data)
+		}
+	}
+	out, err := ReadTraceEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow arrows are derived, not events: the read must return the
+	// two real spans with Flow and Epoch restored.
+	if len(out) != 2 {
+		t.Fatalf("read %d events, want 2 (flow arrows must be skipped)", len(out))
+	}
+	for _, ev := range out {
+		if ev.Flow != 0xdeadbeef {
+			t.Errorf("%s event lost its flow ID: got %#x", ev.Kind, ev.Flow)
+		}
+		if ev.Epoch != 7 {
+			t.Errorf("%s event lost its epoch: got %d", ev.Kind, ev.Epoch)
+		}
+	}
+}
+
+func TestMergeTracesPreservesFlows(t *testing.T) {
+	// A cross-process pair: the send in part 0, the recv in part 1,
+	// parts listed out of order, plus a missing part (a SIGKILLed
+	// member that never flushed) and a second pair whose recv died
+	// with it.
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "t.p0.json")
+	p1 := filepath.Join(dir, "t.p1.json")
+	missing := filepath.Join(dir, "t.p2.json")
+	send1, recv1 := sendRecvPair(0xabc1, 3, 0, 1, 4_000_000_000_000)
+	send2, _ := sendRecvPair(0xabc2, 3, 0, 2, 4_000_100_000_000) // recv lost with proc 2
+	if err := WriteTrace(p0, []Event{send2, send1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(p1, []Event{recv1}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "t.json")
+	// Parts deliberately out of order; p2 missing.
+	if _, err := MergeTraces(out, []string{p1, missing, p0}); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTraceEvents(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := map[uint64][]string{}
+	for _, ev := range evs {
+		if ev.Flow != 0 {
+			flows[ev.Flow] = append(flows[ev.Flow], ev.Kind)
+		}
+	}
+	if got := flows[0xabc1]; len(got) != 2 {
+		t.Fatalf("cross-process flow abc1 has %d ends after merge, want 2 (%v)", len(got), got)
+	}
+	if got := flows[0xabc2]; len(got) != 1 || got[0] != "send" {
+		t.Fatalf("half-flow abc2 (dead receiver) should keep its send end, got %v", got)
+	}
+	// The merged file must still render the surviving pair as a
+	// Perfetto arrow: both the "s" and "f" phases present.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ph": "s"`, `"ph": "f"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("merged trace lost its flow arrows: missing %s", want)
+		}
+	}
+}
+
+func TestMergeTracesGenerationBump(t *testing.T) {
+	// A recovery story: the same (src,dst,seq) coordinates recur at a
+	// bumped generation. FlowIDs are generation-salted by the
+	// transports, so the two pairs must keep distinct IDs; this test
+	// pins the merge keeping all four ends on two distinct flows.
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "g.p0.json")
+	p1 := filepath.Join(dir, "g.p1.json")
+	s1, r1 := sendRecvPair(0x111, 5, 0, 1, 5_000_000_000_000)
+	s2, r2 := sendRecvPair(0x222, 1<<20|1, 0, 1, 5_001_000_000_000) // generation 1 re-based epoch
+	if err := WriteTrace(p0, []Event{s1, s2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(p1, []Event{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.json")
+	if _, err := MergeTraces(out, []string{p0, p1}); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTraceEvents(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFlow := map[uint64]int{}
+	for _, ev := range evs {
+		if ev.Flow != 0 {
+			byFlow[ev.Flow]++
+		}
+	}
+	if len(byFlow) != 2 || byFlow[0x111] != 2 || byFlow[0x222] != 2 {
+		t.Fatalf("want two distinct 2-ended flows across the generation bump, got %v", byFlow)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Sample is one metric sample: label values (matching the metric's
@@ -34,13 +36,51 @@ type metric struct {
 // Registry collects pull-style metrics and renders them in the
 // Prometheus text exposition format (version 0.0.4: # HELP / # TYPE
 // comment lines followed by name{label="value"} value samples).
+//
+// A Registry is a view over a shared core: WithLabels derives a child
+// view whose registrations carry extra constant labels (job name,
+// generation, ...) while exposing into the same endpoint — how one
+// multi-tenant daemon scopes the identical metric families per job
+// without touching a single instrumentation call site.
 type Registry struct {
+	core        *regCore
+	scopeNames  []string
+	scopeValues []string
+}
+
+// regCore is the state shared by a registry and all its scoped views.
+type regCore struct {
 	mu      sync.Mutex
 	metrics []metric
 }
 
 // NewRegistry creates an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
+func NewRegistry() *Registry { return &Registry{core: &regCore{}} }
+
+// WithLabels returns a view of the registry whose every registration
+// carries the given constant labels, supplied as alternating
+// name/value pairs: WithLabels("job", "heat", "generation", "2").
+// Several views may register the same family as long as its kind and
+// label names agree; Expose merges their samples under one # TYPE
+// block.
+func (r *Registry) WithLabels(pairs ...string) (*Registry, error) {
+	if len(pairs)%2 != 0 {
+		return nil, fmt.Errorf("obs: WithLabels needs name/value pairs, got %d strings", len(pairs))
+	}
+	child := &Registry{
+		core:        r.core,
+		scopeNames:  append([]string(nil), r.scopeNames...),
+		scopeValues: append([]string(nil), r.scopeValues...),
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		if !validMetricName(pairs[i]) {
+			return nil, fmt.Errorf("obs: invalid label name %q", pairs[i])
+		}
+		child.scopeNames = append(child.scopeNames, pairs[i])
+		child.scopeValues = append(child.scopeValues, pairs[i+1])
+	}
+	return child, nil
+}
 
 func (r *Registry) register(kind, name, help string, labelNames []string, collect func() []Sample) error {
 	if !validMetricName(name) {
@@ -51,15 +91,50 @@ func (r *Registry) register(kind, name, help string, labelNames []string, collec
 			return fmt.Errorf("obs: invalid label name %q on metric %s", l, name)
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, m := range r.metrics {
-		if m.name == name {
-			return fmt.Errorf("obs: metric %s registered twice", name)
+	names := append(append([]string(nil), r.scopeNames...), labelNames...)
+	wrapped := collect
+	if len(r.scopeValues) > 0 {
+		scope := append([]string(nil), r.scopeValues...)
+		wrapped = func() []Sample {
+			raw := collect()
+			out := make([]Sample, len(raw))
+			for i, s := range raw {
+				out[i] = Sample{Labels: append(append([]string(nil), scope...), s.Labels...), Value: s.Value}
+			}
+			return out
 		}
 	}
-	r.metrics = append(r.metrics, metric{name: name, help: help, kind: kind, labelNames: labelNames, collect: collect})
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.metrics {
+		if m.name != name {
+			continue
+		}
+		if m.kind != kind {
+			return fmt.Errorf("obs: metric %s registered twice with conflicting types (%s vs %s)", name, m.kind, kind)
+		}
+		if !equalStrings(m.labelNames, names) {
+			return fmt.Errorf("obs: metric %s registered twice with conflicting labels (%v vs %v)", name, m.labelNames, names)
+		}
+		// Same family from another scoped view: legal, samples merge.
+	}
+	c.metrics = append(c.metrics, metric{name: name, help: help, kind: kind, labelNames: names, collect: wrapped})
 	return nil
+}
+
+// equalStrings reports whether two string slices are element-wise
+// equal.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Gauge registers a gauge whose samples are pulled from collect at
@@ -75,31 +150,38 @@ func (r *Registry) Counter(name, help string, labelNames []string, collect func(
 }
 
 // Expose renders every registered metric in the Prometheus text
-// exposition format.
+// exposition format. Registrations of one family (the same name from
+// several scoped views) render as one # HELP / # TYPE block with
+// their samples merged, which is what the format requires.
 func (r *Registry) Expose() []byte {
-	r.mu.Lock()
-	ms := append([]metric(nil), r.metrics...)
-	r.mu.Unlock()
+	c := r.core
+	c.mu.Lock()
+	ms := append([]metric(nil), c.metrics...)
+	c.mu.Unlock()
 	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 	var b bytes.Buffer
-	for _, m := range ms {
-		samples := m.collect()
+	for i := 0; i < len(ms); i++ {
+		m := ms[i]
 		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
-		for _, s := range samples {
-			b.WriteString(m.name)
-			if len(s.Labels) > 0 {
-				b.WriteByte('{')
-				for i, v := range s.Labels {
-					if i > 0 {
-						b.WriteByte(',')
+		for ; i < len(ms) && ms[i].name == m.name; i++ {
+			mm := ms[i]
+			for _, s := range mm.collect() {
+				b.WriteString(mm.name)
+				if len(s.Labels) > 0 {
+					b.WriteByte('{')
+					for li, v := range s.Labels {
+						if li > 0 {
+							b.WriteByte(',')
+						}
+						fmt.Fprintf(&b, "%s=%q", mm.labelNames[li], v)
 					}
-					fmt.Fprintf(&b, "%s=%q", m.labelNames[i], v)
+					b.WriteByte('}')
 				}
-				b.WriteByte('}')
+				fmt.Fprintf(&b, " %s\n", strconv.FormatFloat(s.Value, 'g', -1, 64))
 			}
-			fmt.Fprintf(&b, " %s\n", strconv.FormatFloat(s.Value, 'g', -1, 64))
 		}
+		i--
 	}
 	return b.Bytes()
 }
@@ -113,8 +195,12 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Serve binds addr (host:port; port 0 auto-picks) and serves /metrics
-// from this registry plus the standard /debug/pprof endpoints.
-// Returns the bound address and a shutdown function.
+// from this registry, a /healthz liveness probe, and the standard
+// /debug/pprof endpoints. Returns the bound address and a shutdown
+// function that drains in-flight scrapes before closing (so a scrape
+// racing process exit reads a complete exposition, not a reset
+// connection), falling back to a hard close after a short grace
+// period.
 func (r *Registry) Serve(addr string) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -122,6 +208,10 @@ func (r *Registry) Serve(addr string) (string, func(), error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -129,7 +219,14 @@ func (r *Registry) Serve(addr string) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			srv.Close()
+		}
+	}
+	return ln.Addr().String(), shutdown, nil
 }
 
 // validMetricName checks the Prometheus metric/label name charset
@@ -182,6 +279,9 @@ func ValidateExposition(text []byte) (int, error) {
 				kind := fields[3]
 				if kind != "gauge" && kind != "counter" && kind != "histogram" && kind != "summary" && kind != "untyped" {
 					return samples, fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return samples, fmt.Errorf("line %d: duplicate # TYPE for family %s", lineNo, fields[2])
 				}
 				typed[fields[2]] = kind
 			}

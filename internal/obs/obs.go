@@ -60,6 +60,16 @@ type Event struct {
 	// Unix epoch; Dur its duration in nanoseconds (0 for instants).
 	Start int64
 	Dur   int64
+	// Epoch is the execution epoch the event belongs to (0 when the
+	// emitter is outside any epoch). Senders stamp it from the global
+	// epoch counter; receivers stamp it from the message's correlation
+	// ID, so a cross-process pair always agrees on the epoch even when
+	// the processes' own counters are momentarily out of step.
+	Epoch int64
+	// Flow is a nonzero correlation ID shared by a matched send/recv
+	// pair; the trace exporter turns it into Perfetto flow arrows that
+	// make cross-process causality visible. 0 for non-message events.
+	Flow uint64
 }
 
 // Recorder is a fixed-capacity lock-free ring of events: emitters
@@ -93,9 +103,13 @@ func NewRecorder(proc, capacity int) *Recorder {
 	return &Recorder{proc: proc, slots: make([]slot, n)}
 }
 
-// Emit records one event (its Proc is stamped by the recorder).
+// Emit records one event (its Proc is stamped by the recorder, and an
+// unset Epoch is stamped from the process-wide epoch counter).
 func (r *Recorder) Emit(ev Event) {
 	ev.Proc = r.proc
+	if ev.Epoch == 0 {
+		ev.Epoch = epoch.Load()
+	}
 	i := r.next.Add(1) - 1
 	s := &r.slots[i&uint64(len(r.slots)-1)]
 	for {
@@ -207,3 +221,22 @@ func Instant(kind, name string, rank int) {
 // a plain time.Now wrapper kept here so instrumentation sites read as
 // observability code.
 func Now() time.Time { return time.Now() }
+
+// epoch is the process-wide execution-epoch counter. The spmd engine
+// advances it once per collective dispatch; because every process of a
+// job replays the identical replicated control flow, the counters
+// agree across processes without any wire traffic, which is what lets
+// a merged trace group events (and message correlation IDs) by epoch.
+var epoch atomic.Int64
+
+// AdvanceEpoch bumps the process-wide epoch counter and returns the
+// new value. One atomic add — safe to call unconditionally.
+func AdvanceEpoch() int64 { return epoch.Add(1) }
+
+// CurrentEpoch returns the process-wide epoch counter (0 before the
+// first dispatch).
+func CurrentEpoch() int64 { return epoch.Load() }
+
+// SetEpoch forces the epoch counter, used when a process rejoins a job
+// mid-flight and must adopt the job's epoch instead of its own.
+func SetEpoch(e int64) { epoch.Store(e) }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCriticalPathChain(t *testing.T) {
+	// Epoch 1, two ranks on two procs. Rank 1 computes 100µs then
+	// sends; rank 2's recv (40µs of blocking) depends on that send via
+	// the flow ID, then rank 2 sends its own reply. The chain
+	// send(2µs) → recv(40µs) → [5µs gap charged as compute] → send(3µs)
+	// must beat any single-lane chain.
+	const base = int64(1_000_000_000_000)
+	events := []Event{
+		// Rank 1's pre-send compute shows up as the lane gap before its
+		// send, so give the lane an earlier event to anchor the gap.
+		{Kind: "send", Name: "warmup", Proc: 0, Rank: 1, Start: base, Dur: 1_000, Epoch: 1, Flow: 0x10},
+		{Kind: "send", Name: "halo 1->2", Proc: 0, Rank: 1, Start: base + 101_000, Dur: 2_000, Epoch: 1, Flow: 0x11},
+		{Kind: "recv", Name: "halo 1->2", Proc: 1, Rank: 2, Start: base + 103_000, Dur: 40_000, Epoch: 1, Flow: 0x11},
+		{Kind: "send", Name: "reply 2->1", Proc: 1, Rank: 2, Start: base + 148_000, Dur: 3_000, Epoch: 1, Flow: 0x12},
+		// A noise event in another epoch must not leak in.
+		{Kind: "send", Name: "next", Proc: 0, Rank: 1, Start: base + 200_000, Dur: 9_000, Epoch: 2, Flow: 0x20},
+	}
+	paths := CriticalPaths(events)
+	if len(paths) != 2 {
+		t.Fatalf("got %d epoch paths, want 2", len(paths))
+	}
+	p := paths[0]
+	if p.Epoch != 1 {
+		t.Fatalf("first path epoch = %d, want 1", p.Epoch)
+	}
+	// warmup(1µs) + gap(100µs) + send(2µs) + recv(40µs) + gap(5µs) +
+	// send(3µs) = 151µs.
+	if p.TotalNS != 151_000 {
+		t.Errorf("critical path = %dns, want 151000ns; steps %+v", p.TotalNS, p.Steps)
+	}
+	// The chain must cross from rank 1 to rank 2 through the flow edge
+	// and end at the reply send.
+	last := p.Steps[len(p.Steps)-1]
+	if last.Kind != "send" || last.Rank != 2 {
+		t.Errorf("path should end at rank 2's reply send, got %+v", last)
+	}
+	sawRecv, sawCompute := false, false
+	for _, s := range p.Steps {
+		if s.Kind == "recv" && s.Rank == 2 {
+			sawRecv = true
+		}
+		if s.Kind == "compute" {
+			sawCompute = true
+		}
+	}
+	if !sawRecv || !sawCompute {
+		t.Errorf("path missing the flow-matched recv or the charged compute gap: %+v", p.Steps)
+	}
+}
+
+func TestCriticalPathWorkerFallback(t *testing.T) {
+	// No message events in the epoch: the longest worker span is the
+	// path.
+	paths := CriticalPaths([]Event{
+		{Kind: "worker", Name: "rank 1 x4", Proc: 0, Rank: 1, Start: 10, Dur: 5_000, Epoch: 3},
+		{Kind: "worker", Name: "rank 2 x4", Proc: 0, Rank: 2, Start: 12, Dur: 8_000, Epoch: 3},
+		{Kind: "compute", Name: "untagged", Proc: 0, Rank: 1, Start: 0, Dur: 99_000}, // Epoch 0: ignored
+	})
+	if len(paths) != 1 || paths[0].TotalNS != 8_000 || paths[0].Steps[0].Rank != 2 {
+		t.Fatalf("worker fallback wrong: %+v", paths)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	cases := []struct {
+		weights   []int64
+		ratio     float64
+		straggler int
+	}{
+		{nil, 0, -1},
+		{[]int64{0, 0, 0}, 0, -1},
+		{[]int64{5, 5, 5, 5}, 1.0, 0},
+		{[]int64{10, 10, 60, 10}, 60.0 / 22.5, 2},
+		{[]int64{0, 9}, 2.0, 1},
+	}
+	for _, c := range cases {
+		ratio, straggler := Skew(c.weights)
+		if math.Abs(ratio-c.ratio) > 1e-12 || straggler != c.straggler {
+			t.Errorf("Skew(%v) = (%v, %d), want (%v, %d)", c.weights, ratio, straggler, c.ratio, c.straggler)
+		}
+	}
+}
+
+func TestSkewMonitorDelta(t *testing.T) {
+	m := NewSkewMonitor()
+	if s := m.Sample(); s.Ratio != 0 || s.Straggler != 0 {
+		t.Fatalf("fresh monitor should report zeros, got %+v", s)
+	}
+	// First observation: cumulative. Rank 2 (index 1) is the heavy one.
+	m.ObserveWeights([]int64{10, 30, 10, 10})
+	s := m.Sample()
+	if s.Straggler != 2 {
+		t.Fatalf("cumulative straggler = r%d, want r2", s.Straggler)
+	}
+	if want := 30.0 / 15.0; math.Abs(s.Ratio-want) > 1e-12 {
+		t.Fatalf("cumulative ratio = %v, want %v", s.Ratio, want)
+	}
+	// Second observation: all weights moved forward, so the monitor
+	// must diagnose the delta window, where rank 4 did all the work.
+	m.ObserveWeights([]int64{10, 30, 10, 90})
+	s = m.Sample()
+	if s.Straggler != 4 {
+		t.Fatalf("delta straggler = r%d, want r4", s.Straggler)
+	}
+	if want := 80.0 / 20.0; math.Abs(s.Ratio-want) > 1e-12 {
+		t.Fatalf("delta ratio = %v, want %v", s.Ratio, want)
+	}
+	// A shrinking vector (counter reset after recovery) must fall back
+	// to the cumulative view, not produce negative-delta nonsense.
+	m.ObserveWeights([]int64{4, 1, 1, 2})
+	s = m.Sample()
+	if s.Straggler != 1 {
+		t.Fatalf("post-reset straggler = r%d, want r1", s.Straggler)
+	}
+	// An all-equal stall (no weight moved) keeps the last diagnosis.
+	m.ObserveWeights([]int64{4, 1, 1, 2})
+	if s2 := m.Sample(); s2.Straggler != 1 || s2.Ratio != s.Ratio {
+		t.Fatalf("stalled observation should keep the last sample, got %+v", s2)
+	}
+}
+
+func TestSkewMonitorEvents(t *testing.T) {
+	m := NewSkewMonitor()
+	m.ObserveEvents([]Event{
+		{Kind: "worker", Name: "rank 1 x1", Rank: 1, Start: 0, Dur: 7_000, Epoch: 4},
+		{Kind: "worker", Name: "rank 1 x1", Rank: 1, Start: 10_000, Dur: 3_000, Epoch: 5},
+	})
+	s := m.Sample()
+	if s.Epoch != 5 || s.CriticalPathNS != 3_000 {
+		t.Fatalf("ObserveEvents should track the latest epoch's path, got %+v", s)
+	}
+}

@@ -5,21 +5,34 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 )
 
-// traceEvent is one Chrome trace-event object ("X" complete spans and
-// "i" instants), the JSON schema Perfetto and chrome://tracing read.
-// Timestamps are microseconds; pid/tid lane the event under its
-// process and worker rank.
+// traceEvent is one Chrome trace-event object ("X" complete spans,
+// "i" instants, and "s"/"f" flow arrows), the JSON schema Perfetto and
+// chrome://tracing read. Timestamps are microseconds; pid/tid lane the
+// event under its process and worker rank.
 type traceEvent struct {
-	Name  string  `json:"name"`
-	Cat   string  `json:"cat"`
-	Phase string  `json:"ph"`
-	TS    float64 `json:"ts"`
-	Dur   float64 `json:"dur,omitempty"`
-	PID   int     `json:"pid"`
-	TID   int     `json:"tid"`
-	Scope string  `json:"s,omitempty"`
+	Name  string     `json:"name"`
+	Cat   string     `json:"cat"`
+	Phase string     `json:"ph"`
+	TS    float64    `json:"ts"`
+	Dur   float64    `json:"dur,omitempty"`
+	PID   int        `json:"pid"`
+	TID   int        `json:"tid"`
+	Scope string     `json:"s,omitempty"`
+	ID    string     `json:"id,omitempty"`
+	BP    string     `json:"bp,omitempty"`
+	Args  *traceArgs `json:"args,omitempty"`
+}
+
+// traceArgs carries the event metadata that must survive a write/read
+// round trip: the message-correlation flow ID (hex — a uint64 does not
+// survive a float64 JSON number) and the execution epoch. Perfetto
+// shows them in the slice detail pane.
+type traceArgs struct {
+	Flow  string `json:"flow,omitempty"`
+	Epoch int64  `json:"epoch,omitempty"`
 }
 
 // traceFile is the top-level Chrome trace JSON document. OtherData
@@ -35,7 +48,11 @@ type traceFile struct {
 
 // toTraceEvents converts recorded events to Chrome trace events with
 // timestamps rebased to baseNS (full wall-clock nanoseconds do not
-// survive the float64 microsecond field with sub-µs precision).
+// survive the float64 microsecond field with sub-µs precision). Every
+// matched send/recv pair (same nonzero Flow) additionally gets a
+// Perfetto flow arrow: a "s" start bound to the send slice and a "f"
+// finish (bp "e": bind to enclosing slice) bound to the recv slice, so
+// cross-process causality renders as arrows on the merged timeline.
 func toTraceEvents(events []Event, baseNS int64) []traceEvent {
 	out := make([]traceEvent, 0, len(events))
 	for _, ev := range events {
@@ -46,6 +63,12 @@ func toTraceEvents(events []Event, baseNS int64) []traceEvent {
 			PID:  ev.Proc,
 			TID:  ev.Rank,
 		}
+		if ev.Flow != 0 || ev.Epoch != 0 {
+			te.Args = &traceArgs{Epoch: ev.Epoch}
+			if ev.Flow != 0 {
+				te.Args.Flow = strconv.FormatUint(ev.Flow, 16)
+			}
+		}
 		if ev.Dur > 0 {
 			te.Phase = "X"
 			te.Dur = float64(ev.Dur) / 1e3
@@ -54,6 +77,23 @@ func toTraceEvents(events []Event, baseNS int64) []traceEvent {
 			te.Scope = "p" // process-scoped instant marker
 		}
 		out = append(out, te)
+		if ev.Flow != 0 && (ev.Kind == "send" || ev.Kind == "recv") {
+			fl := traceEvent{
+				Name: "msg",
+				Cat:  "flow",
+				TS:   te.TS,
+				PID:  te.PID,
+				TID:  te.TID,
+				ID:   strconv.FormatUint(ev.Flow, 16),
+			}
+			if ev.Kind == "send" {
+				fl.Phase = "s"
+			} else {
+				fl.Phase = "f"
+				fl.BP = "e"
+			}
+			out = append(out, fl)
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
 	return out
@@ -86,8 +126,10 @@ func WriteTrace(path string, events []Event) error {
 
 // ReadTraceEvents reads a Chrome trace JSON file back into recorded
 // events with absolute wall-clock timestamps restored from the file's
-// base offset. Used by the multi-process merge and by tests asserting
-// a trace's content.
+// base offset. Flow arrows ("s"/"f" phases) are skipped — they are
+// derived from the send/recv events' Flow IDs and regenerated on the
+// next write, which is how a merge preserves them. Used by the
+// multi-process merge and by tests asserting a trace's content.
 func ReadTraceEvents(path string) ([]Event, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -103,14 +145,24 @@ func ReadTraceEvents(path string) ([]Event, error) {
 	}
 	out := make([]Event, 0, len(doc.TraceEvents))
 	for _, te := range doc.TraceEvents {
-		out = append(out, Event{
+		if te.Phase == "s" || te.Phase == "f" || te.Phase == "t" {
+			continue
+		}
+		ev := Event{
 			Kind:  te.Cat,
 			Name:  te.Name,
 			Proc:  te.PID,
 			Rank:  te.TID,
 			Start: base + int64(te.TS*1e3),
 			Dur:   int64(te.Dur * 1e3),
-		})
+		}
+		if te.Args != nil {
+			ev.Epoch = te.Args.Epoch
+			if te.Args.Flow != "" {
+				ev.Flow, _ = strconv.ParseUint(te.Args.Flow, 16, 64)
+			}
+		}
+		out = append(out, ev)
 	}
 	return out, nil
 }
@@ -119,7 +171,9 @@ func ReadTraceEvents(path string) ([]Event, error) {
 // combined trace on a single realigned timeline, returning the merged
 // event count. Missing part files are skipped (a member that died
 // mid-job and never flushed still leaves a readable whole-job trace);
-// at least one part must exist.
+// at least one part must exist. Flow IDs ride the surviving events, so
+// the rewritten merge regenerates every send→recv arrow whose two ends
+// both made it to disk — pairs crossing processes included.
 func MergeTraces(out string, parts []string) (int, error) {
 	var all []Event
 	found := 0

@@ -336,6 +336,11 @@ func (e *Engine) run(fn func(p int)) error {
 	if err := e.tr.Err(); err != nil {
 		return err
 	}
+	// Advance the process-wide execution epoch: every process of a job
+	// replays the identical replicated control flow, so the counters
+	// agree everywhere without wire traffic — this is what stamps the
+	// correlation IDs on every frame sent during the dispatch.
+	obs.AdvanceEpoch()
 	e.start()
 	for _, p := range e.local {
 		e.workers[p-1] <- fn

@@ -176,12 +176,16 @@ func (s *IrregularSchedule) ExecuteN(iters int) error {
 		if wp == nil {
 			return
 		}
+		wspan := obs.BeginSpan("worker", fmt.Sprintf("rank %d x%d", p, iters), p)
 		var tally *phaseTally
 		if timing {
 			tally = new(phaseTally)
 		}
 		for it := 0; it < iters; it++ {
 			wp.step(e, p, it == 0 || !s.constGhost, tally)
+		}
+		if wspan != nil {
+			wspan()
 		}
 		c := counters{
 			load:       wp.load * iters,

@@ -314,6 +314,9 @@ func (s *Schedule) ExecuteN(iters int) error {
 		if wp == nil {
 			return
 		}
+		// A per-worker epoch span: the skew analysis compares these
+		// lanes to find the straggler.
+		wspan := obs.BeginSpan("worker", fmt.Sprintf("rank %d x%d", p, iters), p)
 		var tally *phaseTally
 		if timing {
 			tally = new(phaseTally)
@@ -323,6 +326,9 @@ func (s *Schedule) ExecuteN(iters int) error {
 			// on the first iteration of the epoch; the scattered buffer
 			// stays valid for the replays.
 			wp.step(e, p, it == 0 || !s.constGhost, tally)
+		}
+		if wspan != nil {
+			wspan()
 		}
 		c := counters{
 			load:       wp.load * iters,

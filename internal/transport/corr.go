@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hpfnt/internal/obs"
+)
+
+// Causal message correlation. Every physical data frame on every wire
+// carries a compact 8-byte correlation word so a send and its matched
+// recv — possibly in different OS processes — can be stitched back
+// together in a merged trace as a Perfetto flow arrow:
+//
+//	corr = epoch<<32 | seq
+//
+// where epoch is the sender's execution epoch (obs.CurrentEpoch — the
+// replicated control flow keeps it consistent across processes) and
+// seq the per-ordered-pair send sequence number. The word rides the
+// frame header on the multi-process wires ([4]len [8]corr on shm,
+// after src/dst in a tcp data frame) and the message struct on inproc,
+// never the payload, so values and logical machine.Reports stay
+// byte-identical with correlation on. Stamping costs one atomic add
+// per send; trace events are only emitted when a recorder is
+// installed.
+
+// pairSeq holds the per-ordered-pair send sequence counters of one
+// transport incarnation.
+type pairSeq struct {
+	np  int
+	seq []atomic.Uint64
+}
+
+func newPairSeq(np int) *pairSeq {
+	return &pairSeq{np: np, seq: make([]atomic.Uint64, np*np)}
+}
+
+// next returns the next sequence number of the ordered (src,dst)
+// stream (1-based ranks).
+func (p *pairSeq) next(src, dst int) uint64 {
+	return p.seq[(src-1)*p.np+(dst-1)].Add(1)
+}
+
+// packCorr packs an epoch and a pair sequence number into the 8-byte
+// correlation word.
+func packCorr(epoch int64, seq uint64) uint64 {
+	return uint64(epoch)<<32 | (seq & 0xffffffff)
+}
+
+// CorrEpoch extracts the sender's execution epoch from a correlation
+// word.
+func CorrEpoch(corr uint64) int64 { return int64(corr >> 32) }
+
+// CorrSeq extracts the per-pair sequence number from a correlation
+// word.
+func CorrSeq(corr uint64) uint64 { return corr & 0xffffffff }
+
+// FlowID derives the trace flow identifier binding a send/recv pair:
+// an FNV-1a hash over (generation, src, dst, corr). Both ends derive
+// the same ID from the frame alone, and including the generation keeps
+// flows distinct when a recovery bump resets the sequence counters —
+// otherwise a pre-kill send could arrow into a post-rejoin recv.
+func FlowID(gen, src, dst int, corr uint64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(gen))
+	mix(uint64(src)<<32 | uint64(dst))
+	mix(corr)
+	if h == 0 {
+		h = 1 // 0 means "no flow" in obs.Event
+	}
+	return h
+}
+
+// nextCorr stamps the correlation word for one send on the ordered
+// (src,dst) stream.
+func (p *pairSeq) nextCorr(src, dst int) uint64 {
+	return packCorr(obs.CurrentEpoch(), p.next(src, dst))
+}
+
+// traceMsg emits one side of a message span pair onto the global
+// recorder. kind is "send" or "recv"; start is when the operation
+// began blocking, so a recv span's duration is the wait the message
+// chain imposed — exactly what the critical-path analysis sums. Only
+// call when obs.TraceEnabled().
+func traceMsg(kind string, gen, src, dst, elems int, corr uint64, start time.Time) {
+	rank := src
+	if kind == "recv" {
+		rank = dst
+	}
+	dur := int64(time.Since(start))
+	if dur <= 0 {
+		dur = 1 // keep the event an "X" slice so flow arrows can bind
+	}
+	obs.Emit(obs.Event{
+		Kind:  kind,
+		Name:  fmt.Sprintf("msg %d->%d #%d (%d elems)", src, dst, CorrSeq(corr), elems),
+		Rank:  rank,
+		Start: start.UnixNano(),
+		Dur:   dur,
+		Epoch: CorrEpoch(corr),
+		Flow:  FlowID(gen, src, dst, corr),
+	})
+}

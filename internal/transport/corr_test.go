@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"hpfnt/internal/obs"
+)
+
+func TestPackCorr(t *testing.T) {
+	c := packCorr(7, 0x1234)
+	if CorrEpoch(c) != 7 || CorrSeq(c) != 0x1234 {
+		t.Fatalf("corr roundtrip: epoch %d seq %#x", CorrEpoch(c), CorrSeq(c))
+	}
+	// The seq wraps into its 32-bit half without bleeding into the
+	// epoch half.
+	c = packCorr(3, 0x1_0000_0005)
+	if CorrEpoch(c) != 3 || CorrSeq(c) != 5 {
+		t.Fatalf("seq overflow bled into the epoch: epoch %d seq %#x", CorrEpoch(c), CorrSeq(c))
+	}
+}
+
+func TestFlowIDDistinct(t *testing.T) {
+	base := FlowID(0, 1, 2, packCorr(1, 1))
+	if base == 0 {
+		t.Fatal("flow ID must never be 0 (0 means untagged)")
+	}
+	// Changing any coordinate — generation, pair, corr — must change
+	// the ID: that is what keeps arrows distinct across recovery bumps
+	// and concurrent pairs.
+	for name, other := range map[string]uint64{
+		"generation": FlowID(1, 1, 2, packCorr(1, 1)),
+		"src":        FlowID(0, 3, 2, packCorr(1, 1)),
+		"dst":        FlowID(0, 1, 3, packCorr(1, 1)),
+		"seq":        FlowID(0, 1, 2, packCorr(1, 2)),
+		"epoch":      FlowID(0, 1, 2, packCorr(2, 1)),
+	} {
+		if other == base {
+			t.Errorf("changing %s did not change the flow ID", name)
+		}
+	}
+}
+
+// TestCorrPairing sends a few messages over every wire with tracing on
+// and asserts each recv event pairs with exactly one send event on a
+// shared nonzero flow ID carrying the sender's epoch.
+func TestCorrPairing(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			rec := obs.StartTrace(0, 1<<10)
+			defer obs.StopTrace()
+			obs.SetEpoch(42)
+			defer obs.SetEpoch(0)
+			tr, err := New(kind, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			const msgs = 3
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < msgs; k++ {
+					tr.Send(1, 2, []float64{float64(10 + k)})
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for k := 0; k < msgs; k++ {
+					tr.Send(3, 2, []float64{float64(30 + k)})
+				}
+			}()
+			for k := 0; k < msgs; k++ {
+				if got := tr.Recv(1, 2); len(got) != 1 || got[0] != float64(10+k) {
+					t.Fatalf("pair (1,2) msg %d: got %v", k, got)
+				}
+				if got := tr.Recv(3, 2); len(got) != 1 || got[0] != float64(30+k) {
+					t.Fatalf("pair (3,2) msg %d: got %v", k, got)
+				}
+			}
+			wg.Wait()
+			sends := map[uint64]int{}
+			recvs := map[uint64]int{}
+			for _, ev := range rec.Snapshot() {
+				switch ev.Kind {
+				case "send", "recv":
+				default:
+					continue
+				}
+				if ev.Flow == 0 {
+					t.Fatalf("%s event %q has no flow ID", ev.Kind, ev.Name)
+				}
+				if ev.Epoch != 42 {
+					t.Fatalf("%s event %q has epoch %d, want the sender's 42", ev.Kind, ev.Name, ev.Epoch)
+				}
+				if ev.Kind == "send" {
+					sends[ev.Flow]++
+				} else {
+					recvs[ev.Flow]++
+				}
+			}
+			if len(sends) != 2*msgs {
+				t.Fatalf("%d distinct send flows, want %d", len(sends), 2*msgs)
+			}
+			for flow, n := range sends {
+				if n != 1 || recvs[flow] != 1 {
+					t.Fatalf("flow %#x has %d sends / %d recvs, want 1/1", flow, n, recvs[flow])
+				}
+			}
+		})
+	}
+}

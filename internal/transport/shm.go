@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"hpfnt/internal/obs"
 )
 
 // The shm wire: one mmap'd file shared by every process of the job,
@@ -51,7 +53,7 @@ import (
 // are touched.
 const (
 	shmMagic    = 0x48504653484d3136 // "HPFSHM16"
-	shmVersion  = 2
+	shmVersion  = 3                  // v3: data frames carry an 8-byte correlation word
 	shmHdrSize  = 4096
 	shmRingCtrl = 128
 	shmDataCap  = 1 << 16
@@ -174,6 +176,7 @@ func (cfg *ShmConfig) failAfter() time.Duration {
 type shm struct {
 	np, procs, self int
 	gen             int
+	ps              *pairSeq
 	fb              *failBox
 	closed          atomic.Bool
 	wireTally
@@ -293,7 +296,7 @@ func NewShmLoop(np int) (Transport, error) {
 	if np < 1 {
 		return nil, fmt.Errorf("transport: shm needs np >= 1, got %d", np)
 	}
-	t := &shm{np: np, procs: 1, self: 0, fb: newFailBox()}
+	t := &shm{np: np, procs: 1, self: 0, ps: newPairSeq(np), fb: newFailBox()}
 	f, err := os.CreateTemp(shmDir(""), "hpfnt-shm-*")
 	if err != nil {
 		return nil, fmt.Errorf("transport: shm backing file: %w", err)
@@ -338,7 +341,7 @@ func NewShm(cfg ShmConfig) (Transport, error) {
 	if cfg.Procs == 1 {
 		return NewShmLoop(cfg.NP)
 	}
-	t := &shm{np: cfg.NP, procs: cfg.Procs, self: cfg.Self, gen: cfg.Generation, fb: newFailBox()}
+	t := &shm{np: cfg.NP, procs: cfg.Procs, self: cfg.Self, gen: cfg.Generation, ps: newPairSeq(cfg.NP), fb: newFailBox()}
 	t.heartbeat = cfg.heartbeat()
 	t.failAfter = cfg.failAfter()
 	t.path = shmPath(cfg)
@@ -659,19 +662,30 @@ func (t *shm) Send(src, dst int, msg []float64) {
 	if t.failedNow() {
 		return // failed transport: drop
 	}
+	corr := t.ps.nextCorr(src, dst)
+	tracing := obs.TraceEnabled()
+	var start time.Time
+	if tracing {
+		start = time.Now()
+	}
 	r := t.dataRing(src, dst)
-	var hdr [4]byte
+	// Data frame: [4]payload-byte-len [8]corr [payload].
+	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)*8))
+	binary.LittleEndian.PutUint64(hdr[4:], corr)
 	payload := floatBytes(msg)
 	r.pmu.Lock()
 	if len(r.pending) == 0 {
 		head := atomic.LoadUint64(r.head)
 		tail := atomic.LoadUint64(r.tail)
-		if free := r.capacity() - (head - tail); free >= uint64(4+len(payload)) {
+		if free := r.capacity() - (head - tail); free >= uint64(len(hdr)+len(payload)) {
 			r.push(hdr[:])
 			r.push(payload)
 			r.pmu.Unlock()
-			t.countSend(int64(4 + len(payload)))
+			t.countSend(int64(len(hdr) + len(payload)))
+			if tracing {
+				traceMsg("send", t.gen, src, dst, len(msg), corr, start)
+			}
 			return
 		}
 	}
@@ -682,28 +696,36 @@ func (t *shm) Send(src, dst int, msg []float64) {
 	r.pending = append(r.pending, payload...)
 	r.pmu.Unlock()
 	t.countStall()
-	t.countSend(int64(4 + len(payload)))
+	t.countSend(int64(len(hdr) + len(payload)))
 	t.markDirty(r)
+	if tracing {
+		traceMsg("send", t.gen, src, dst, len(msg), corr, start)
+	}
 }
 
 func (t *shm) Recv(src, dst int) []float64 {
+	tracing := obs.TraceEnabled()
+	var start time.Time
+	if tracing {
+		start = time.Now()
+	}
 	r := t.dataRing(src, dst)
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
-	var hdr [4]byte
+	var hdr [12]byte
 	if !t.readFull(r, hdr[:]) {
 		return nil
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
+	corr := binary.LittleEndian.Uint64(hdr[4:])
 	out := make([]float64, n/8)
-	if n == 0 {
-		t.countRecv(4)
-		return out
-	}
-	if !t.readFull(r, floatBytes(out)) {
+	if n > 0 && !t.readFull(r, floatBytes(out)) {
 		return nil
 	}
-	t.countRecv(int64(4 + n))
+	t.countRecv(int64(len(hdr)) + int64(n))
+	if tracing {
+		traceMsg("recv", t.gen, src, dst, len(out), corr, start)
+	}
 	return out
 }
 

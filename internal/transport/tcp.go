@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hpfnt/internal/obs"
 )
 
 // The tcp transport's frame kinds. Every frame is length-prefixed:
@@ -20,7 +22,7 @@ import (
 const (
 	frameHello   = byte(1) // handshake: proto, generation, np, procs, sender proc, job, listen addr
 	frameRoster  = byte(2) // leader → peers: the peer listener addresses
-	frameData    = byte(3) // rank pair stream: src, dst, payload floats
+	frameData    = byte(3) // rank pair stream: src, dst, corr, payload floats
 	frameBcast   = byte(4) // process collective: from proc, payload floats
 	frameBarrier = byte(5) // peer → leader: barrier arrival
 	frameRelease = byte(6) // leader → peers: barrier release
@@ -28,8 +30,9 @@ const (
 )
 
 // tcpProto is the handshake protocol version; mismatches are rejected
-// at join time.
-const tcpProto = 1
+// at join time. Version 2 added the 8-byte correlation word to data
+// frames.
+const tcpProto = 2
 
 // hello subkinds: a join (process → leader rendezvous) or a peer data
 // connection (mesh fill-in between non-leader processes).
@@ -235,6 +238,7 @@ type tcpTransport struct {
 
 	boxes  [][]*mailbox // [src-1][dst-1] for streams received here
 	bcastQ []*mailbox   // per source process index
+	ps     *pairSeq     // per-pair send sequence for correlation IDs
 
 	arrive  chan int      // leader: barrier arrivals
 	release chan struct{} // peers: barrier releases
@@ -253,7 +257,7 @@ type tcpTransport struct {
 }
 
 func newTCPState(cfg TCPConfig) *tcpTransport {
-	t := &tcpTransport{cfg: cfg, fb: newFailBox(), hbStop: make(chan struct{})}
+	t := &tcpTransport{cfg: cfg, ps: newPairSeq(cfg.NP), fb: newFailBox(), hbStop: make(chan struct{})}
 	t.conns = make([]*tconn, cfg.Procs)
 	t.lastHeard = make([]atomic.Int64, cfg.Procs)
 	t.boxes = make([][]*mailbox, cfg.NP)
@@ -696,7 +700,7 @@ func (t *tcpTransport) readLoop(peer int, c *tconn, br *bufio.Reader) {
 		case frameHeart:
 			// Liveness only; the stamp above is the payload.
 		case frameData:
-			if len(body) < 8 {
+			if len(body) < 16 {
 				t.Fail(fmt.Errorf("transport: short data frame"))
 				return
 			}
@@ -706,7 +710,8 @@ func (t *tcpTransport) readLoop(peer int, c *tconn, br *bufio.Reader) {
 				t.Fail(fmt.Errorf("transport: data frame for pair (%d,%d) out of range 1..%d", src, dst, t.cfg.NP))
 				return
 			}
-			t.boxes[src-1][dst-1].push(bytesToFloats(body[8:]))
+			corr := binary.LittleEndian.Uint64(body[8:])
+			t.boxes[src-1][dst-1].push(inMsg{corr: corr, msg: bytesToFloats(body[16:])})
 		case frameBcast:
 			if len(body) < 4 {
 				t.Fail(fmt.Errorf("transport: short bcast frame"))
@@ -717,7 +722,7 @@ func (t *tcpTransport) readLoop(peer int, c *tconn, br *bufio.Reader) {
 				t.Fail(fmt.Errorf("transport: bcast from out-of-range process %d", from))
 				return
 			}
-			t.bcastQ[from].push(bytesToFloats(body[4:]))
+			t.bcastQ[from].push(inMsg{msg: bytesToFloats(body[4:])})
 		case frameBarrier:
 			if len(body) < 4 {
 				t.Fail(fmt.Errorf("transport: short barrier frame"))
@@ -775,25 +780,46 @@ func (t *tcpTransport) sendFrame(peer int, c *tconn, kind byte, body []byte) {
 }
 
 func (t *tcpTransport) Send(src, dst int, msg []float64) {
+	corr := t.ps.nextCorr(src, dst)
+	tracing := obs.TraceEnabled()
+	var start time.Time
+	if tracing {
+		start = time.Now()
+	}
 	h := t.HostOf(dst)
 	if h == t.cfg.Self && t.loop == nil {
 		// Same-process pair: short-circuit through the mailbox.
-		t.boxes[src-1][dst-1].push(msg)
+		t.boxes[src-1][dst-1].push(inMsg{corr: corr, msg: msg})
+		if tracing {
+			traceMsg("send", t.cfg.Generation, src, dst, len(msg), corr, start)
+		}
 		return
 	}
-	body := make([]byte, 8, 8+8*len(msg))
+	body := make([]byte, 16, 16+8*len(msg))
 	binary.LittleEndian.PutUint32(body, uint32(src))
 	binary.LittleEndian.PutUint32(body[4:], uint32(dst))
+	binary.LittleEndian.PutUint64(body[8:], corr)
 	body = floatsToBytes(body, msg)
 	c, peer := t.loop, -1
 	if c == nil {
 		c, peer = t.conns[h], h
 	}
 	t.sendFrame(peer, c, frameData, body)
+	if tracing {
+		traceMsg("send", t.cfg.Generation, src, dst, len(msg), corr, start)
+	}
 }
 
 func (t *tcpTransport) Recv(src, dst int) []float64 {
-	return t.boxes[src-1][dst-1].pop()
+	if !obs.TraceEnabled() {
+		return t.boxes[src-1][dst-1].pop().msg
+	}
+	start := time.Now()
+	m := t.boxes[src-1][dst-1].pop()
+	if m.msg != nil {
+		traceMsg("recv", t.cfg.Generation, src, dst, len(m.msg), m.corr, start)
+	}
+	return m.msg
 }
 
 func (t *tcpTransport) Bcast(from int, vals []float64) []float64 {
@@ -812,7 +838,7 @@ func (t *tcpTransport) Bcast(from int, vals []float64) []float64 {
 		}
 		return vals
 	}
-	return t.bcastQ[from].pop()
+	return t.bcastQ[from].pop().msg
 }
 
 func (t *tcpTransport) Barrier() error {

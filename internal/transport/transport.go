@@ -303,6 +303,14 @@ func (f *failBox) get() error {
 	return f.err
 }
 
+// inMsg is one in-flight message with its correlation word — the
+// in-memory equivalent of a wire frame's [corr][payload] layout, used
+// by the inproc channels and the tcp mailboxes.
+type inMsg struct {
+	corr uint64
+	msg  []float64
+}
+
 // inproc is the in-process transport: today's capacity-1 buffered
 // channel per ordered rank pair. Within one engine epoch each pair
 // has at most one in-flight message per iteration, and every worker
@@ -311,19 +319,20 @@ func (f *failBox) get() error {
 // sender can pipeline ahead of a slow receiver across iterations.
 type inproc struct {
 	np    int
-	chans [][]chan []float64
+	chans [][]chan inMsg
+	ps    *pairSeq
 	fb    *failBox
 	wireTally
 }
 
 // NewInproc creates the in-process transport over np ranks.
 func NewInproc(np int) Transport {
-	t := &inproc{np: np, fb: newFailBox()}
-	t.chans = make([][]chan []float64, np)
+	t := &inproc{np: np, ps: newPairSeq(np), fb: newFailBox()}
+	t.chans = make([][]chan inMsg, np)
 	for s := range t.chans {
-		t.chans[s] = make([]chan []float64, np)
+		t.chans[s] = make([]chan inMsg, np)
 		for d := range t.chans[s] {
-			t.chans[s][d] = make(chan []float64, 1)
+			t.chans[s][d] = make(chan inMsg, 1)
 		}
 	}
 	return t
@@ -342,41 +351,62 @@ func (t *inproc) Send(src, dst int, msg []float64) {
 	default:
 	}
 	ch := t.chans[src-1][dst-1]
+	m := inMsg{corr: t.ps.nextCorr(src, dst), msg: msg}
+	tracing := obs.TraceEnabled()
+	var start time.Time
+	if tracing {
+		start = time.Now()
+	}
 	// Try the uncontended path first so the backpressure block is
 	// visible as a stall in the wire counters.
 	select {
-	case ch <- msg:
+	case ch <- m:
 		t.countSend(int64(8 * len(msg)))
+		if tracing {
+			traceMsg("send", 0, src, dst, len(msg), m.corr, start)
+		}
 		return
 	default:
 	}
 	t.countStall()
 	select {
-	case ch <- msg:
+	case ch <- m:
 		t.countSend(int64(8 * len(msg)))
+		if tracing {
+			traceMsg("send", 0, src, dst, len(msg), m.corr, start)
+		}
 	case <-t.fb.stop:
 	}
 }
 
 func (t *inproc) Recv(src, dst int) []float64 {
 	ch := t.chans[src-1][dst-1]
+	tracing := obs.TraceEnabled()
+	var start time.Time
+	if tracing {
+		start = time.Now()
+	}
+	deliver := func(m inMsg) []float64 {
+		t.countRecv(int64(8 * len(m.msg)))
+		if tracing {
+			traceMsg("recv", 0, src, dst, len(m.msg), m.corr, start)
+		}
+		return m.msg
+	}
 	// Drain-then-nil on failure, like the tcp mailboxes: a message
 	// already in the stream is delivered even after Fail.
 	select {
-	case msg := <-ch:
-		t.countRecv(int64(8 * len(msg)))
-		return msg
+	case m := <-ch:
+		return deliver(m)
 	default:
 	}
 	select {
-	case msg := <-ch:
-		t.countRecv(int64(8 * len(msg)))
-		return msg
+	case m := <-ch:
+		return deliver(m)
 	case <-t.fb.stop:
 		select {
-		case msg := <-ch:
-			t.countRecv(int64(8 * len(msg)))
-			return msg
+		case m := <-ch:
+			return deliver(m)
 		default:
 			return nil
 		}
@@ -397,11 +427,12 @@ func (t *inproc) Close() error { return nil }
 // mailbox is an unbounded FIFO queue of messages for one stream, with
 // abort support: messages queued before the abort still drain in
 // order (a peer's orderly shutdown must not eat data already on the
-// wire); pop returns nil once the queue is empty and aborted.
+// wire); pop returns the zero inMsg (nil payload) once the queue is
+// empty and aborted.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	q      [][]float64
+	q      []inMsg
 	closed bool
 }
 
@@ -411,21 +442,21 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) push(msg []float64) {
+func (m *mailbox) push(msg inMsg) {
 	m.mu.Lock()
 	m.q = append(m.q, msg)
 	m.cond.Signal()
 	m.mu.Unlock()
 }
 
-func (m *mailbox) pop() []float64 {
+func (m *mailbox) pop() inMsg {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.q) == 0 && !m.closed {
 		m.cond.Wait()
 	}
 	if len(m.q) == 0 {
-		return nil
+		return inMsg{}
 	}
 	msg := m.q[0]
 	m.q = m.q[1:]
